@@ -1,0 +1,374 @@
+//! The paper's bound formulas (Tables 2.3 and 11.1).
+//!
+//! These functions evaluate the asymptotic bounds *without* their unknown
+//! leading constants — they return the growth term itself (e.g.
+//! `g + ln n`). They are used to check the **shape** of measured gaps:
+//! ratios of measured gap to these terms should stay bounded across a
+//! sweep, and crossovers should appear where the theory places them.
+//!
+//! Logarithms are natural unless stated otherwise; the paper's constants
+//! are absorbed into the comparison, not the formula.
+
+/// Natural log of `n`, guarded for tiny inputs.
+fn ln(n: f64) -> f64 {
+    n.max(2.0).ln()
+}
+
+/// `Two-Choice` without noise: `Gap(m) = log₂ log₂ n + Θ(1)` for all
+/// `m ⩾ n` (Berenbrink et al.; paper Section 1).
+///
+/// # Examples
+///
+/// ```
+/// use balloc_analysis::bounds::two_choice_gap;
+/// let g = two_choice_gap(1_000_000);
+/// assert!(g > 3.0 && g < 6.0);
+/// ```
+#[must_use]
+pub fn two_choice_gap(n: u64) -> f64 {
+    (ln(n as f64) / 2f64.ln()).log2().max(1.0)
+}
+
+/// `One-Choice` gap for `m` balls (Appendix A.2): for `m ⩽ n·log n` the
+/// `Θ(log n / log((4n/m)·log n))` regime (Lemmas A.5/A.8/A.10); for larger
+/// `m` the `Θ(√((m/n)·log n))` regime (Lemma A.9).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `m == 0`.
+#[must_use]
+pub fn one_choice_gap(n: u64, m: u64) -> f64 {
+    assert!(n > 0 && m > 0, "n and m must be positive");
+    let nf = n as f64;
+    let mf = m as f64;
+    let logn = ln(nf);
+    if mf <= nf * logn {
+        let denom = (4.0 * nf / mf * logn).max(1.0 + 1e-9).ln();
+        logn / denom
+    } else {
+        (mf / nf * logn).sqrt()
+    }
+}
+
+/// `g-Adv-Comp` warm-up upper bound `O(g·log(ng))` (Theorem 4.3; also the
+/// `g-Bounded` bound of \[44\]).
+///
+/// # Panics
+///
+/// Panics if `g == 0`.
+#[must_use]
+pub fn adv_comp_upper_warmup(n: u64, g: u64) -> f64 {
+    assert!(g >= 1, "g must be at least 1");
+    g as f64 * ln((n * g) as f64)
+}
+
+/// `g-Adv-Comp` refined upper bound `O(g + log n)` (Theorem 5.12).
+#[must_use]
+pub fn adv_comp_upper_linear(n: u64, g: u64) -> f64 {
+    g as f64 + ln(n as f64)
+}
+
+/// `g-Adv-Comp` sub-logarithmic upper bound `O(g/log g · log log n)` for
+/// `1 < g ⩽ log n` (Theorem 9.2).
+///
+/// For `g ⩽ 1` the process behaves like noiseless `Two-Choice` up to
+/// constants, so the `Θ(log log n)` term is returned.
+#[must_use]
+pub fn adv_comp_upper_sublog(n: u64, g: u64) -> f64 {
+    let loglogn = ln(ln(n as f64));
+    if g <= 1 {
+        return loglogn.max(1.0);
+    }
+    let gf = g as f64;
+    gf / gf.ln().max(1.0) * loglogn
+}
+
+/// The tight `g-Adv-Comp`/`g-Myopic-Comp` gap
+/// `Θ(g/log g · log log n + g)` for `g > 1` — the paper's headline result
+/// combining Theorems 5.12 and 9.2 with the lower bounds of Section 11.
+#[must_use]
+pub fn adv_comp_tight(n: u64, g: u64) -> f64 {
+    adv_comp_upper_sublog(n, g) + g as f64
+}
+
+/// `g-Myopic-Comp` lower bound `Ω(g)` for `g ⩾ log n / log log n`
+/// (Proposition 11.2).
+#[must_use]
+pub fn myopic_lower_linear(g: u64) -> f64 {
+    g as f64
+}
+
+/// `g-Myopic-Comp` lower bound `Ω(g/log g · log log n)` for
+/// `1 < g ⩽ (log n)/(8·log log n)` (Theorem 11.3, Observation 11.1).
+#[must_use]
+pub fn myopic_lower_sublog(n: u64, g: u64) -> f64 {
+    adv_comp_upper_sublog(n, g)
+}
+
+/// `b-Batch` / `τ-Delay` gap `Θ(log n / log((4n/b)·log n))` for
+/// `b ∈ [n·e^{−logᶜ n}, n·log n]` (Corollary 10.4, Observation 11.6).
+///
+/// At `b = n` this is the tight `Θ(log n / log log n)` of Theorem 10.2.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `b == 0`.
+#[must_use]
+pub fn batch_gap(n: u64, b: u64) -> f64 {
+    assert!(n > 0 && b > 0, "n and b must be positive");
+    let nf = n as f64;
+    let bf = b as f64;
+    let logn = ln(nf);
+    if bf >= nf * logn {
+        // Θ(b/n) regime ([34], Table 2.3 row b = Ω(n log n)).
+        bf / nf
+    } else {
+        let denom = (4.0 * nf / bf * logn).max(1.0 + 1e-9).ln();
+        logn / denom
+    }
+}
+
+/// `τ-Delay`/`b-Batch` gap `Θ(log log n)` for `b = n^{1−ε}`
+/// (Remark 10.6, Observation 11.1).
+#[must_use]
+pub fn batch_gap_sublinear_b(n: u64) -> f64 {
+    ln(ln(n as f64)).max(1.0)
+}
+
+/// `σ-Noisy-Load` upper bound `O(σ·√log n · log(nσ))` (Proposition 10.1).
+///
+/// # Panics
+///
+/// Panics if `σ` is not positive and finite.
+#[must_use]
+pub fn noisy_load_upper(n: u64, sigma: f64) -> f64 {
+    assert!(sigma.is_finite() && sigma > 0.0, "sigma must be positive");
+    let nf = n as f64;
+    sigma * ln(nf).sqrt() * ln(nf * sigma.max(1.0))
+}
+
+/// `σ-Noisy-Load` lower bound
+/// `Ω(min{σ^{4/5}, σ^{2/5}·√log n})` for `σ ⩾ 32`, and
+/// `Ω(min{1, σ}·(log n)^{1/3})` for `σ ⩾ 2·(log n)^{−1/3}`
+/// (Proposition 11.5) — the max of the two regimes is returned.
+///
+/// # Panics
+///
+/// Panics if `σ` is not positive and finite.
+#[must_use]
+pub fn noisy_load_lower(n: u64, sigma: f64) -> f64 {
+    assert!(sigma.is_finite() && sigma > 0.0, "sigma must be positive");
+    let logn = ln(n as f64);
+    let small_regime = sigma.min(1.0) * logn.powf(1.0 / 3.0);
+    let large_regime = (sigma.powf(0.8)).min(sigma.powf(0.4) * logn.sqrt());
+    small_regime.max(if sigma >= 32.0 { large_regime } else { 0.0 })
+}
+
+/// One row of the bounds-overview table (paper Table 2.3), evaluated at a
+/// concrete `n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundRow {
+    /// Setting or process name as printed in the paper.
+    pub setting: String,
+    /// Parameter description.
+    pub range: String,
+    /// Evaluated lower bound (`None` when the paper gives none).
+    pub lower: Option<f64>,
+    /// Evaluated upper bound (`None` when the paper gives none).
+    pub upper: Option<f64>,
+    /// Reference in the paper.
+    pub reference: String,
+}
+
+/// Evaluates the full Table 2.3 at concrete parameters: `g`/`σ` for the
+/// comparison settings and `b`/`τ` for the delay settings.
+///
+/// # Panics
+///
+/// Panics if `g == 0`.
+#[must_use]
+pub fn table_2_3(n: u64, g: u64, b: u64, sigma: f64) -> Vec<BoundRow> {
+    assert!(g >= 1, "g must be at least 1");
+    vec![
+        BoundRow {
+            setting: "g-Bounded".into(),
+            range: format!("g = {g}"),
+            lower: None,
+            upper: Some(adv_comp_upper_warmup(n, g)),
+            reference: "Thm 4.3 / [44]".into(),
+        },
+        BoundRow {
+            setting: "g-Adv-Comp".into(),
+            range: format!("g = {g}"),
+            lower: None,
+            upper: Some(adv_comp_upper_linear(n, g)),
+            reference: "Thm 5.12".into(),
+        },
+        BoundRow {
+            setting: "g-Adv-Comp".into(),
+            range: format!("1 < g = {g} <= log n"),
+            lower: None,
+            upper: Some(adv_comp_upper_sublog(n, g)),
+            reference: "Thm 9.2".into(),
+        },
+        BoundRow {
+            setting: "g-Myopic-Comp".into(),
+            range: format!("g = {g} >= log n/log log n"),
+            lower: Some(myopic_lower_linear(g)),
+            upper: None,
+            reference: "Prop 11.2".into(),
+        },
+        BoundRow {
+            setting: "g-Myopic-Comp".into(),
+            range: format!("1 < g = {g} <= log n/log log n"),
+            lower: Some(myopic_lower_sublog(n, g)),
+            upper: None,
+            reference: "Obs 11.1 / Thm 11.3".into(),
+        },
+        BoundRow {
+            setting: "b-Batch".into(),
+            range: format!("b = {b}"),
+            lower: Some(batch_gap(n, b)),
+            upper: Some(batch_gap(n, b)),
+            reference: "Obs 11.6 / [14] / [34]".into(),
+        },
+        BoundRow {
+            setting: "tau-Delay".into(),
+            range: format!("tau = {b}"),
+            lower: None,
+            upper: Some(batch_gap(n, b)),
+            reference: "Thm 10.2 / Cor 10.4".into(),
+        },
+        BoundRow {
+            setting: "sigma-Noisy-Load".into(),
+            range: format!("sigma = {sigma}"),
+            lower: Some(noisy_load_lower(n, sigma)),
+            upper: Some(noisy_load_upper(n, sigma)),
+            reference: "Prop 10.1 / Prop 11.5".into(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: u64 = 100_000;
+
+    #[test]
+    fn two_choice_gap_is_loglog_scale() {
+        assert!(two_choice_gap(1_000) < two_choice_gap(1_000_000_000));
+        assert!(two_choice_gap(N) < 6.0);
+    }
+
+    #[test]
+    fn one_choice_regimes_meet_sanely() {
+        // At m = n the classic Θ(log n/log log n).
+        let at_n = one_choice_gap(N, N);
+        let logn = (N as f64).ln();
+        assert!((at_n - logn / (4.0f64 * logn).ln()).abs() < 1e-9);
+        // Heavily loaded regime grows like √(m/n·log n).
+        let heavy = one_choice_gap(N, 1000 * N);
+        assert!((heavy - (1000.0 * logn).sqrt()).abs() < 1e-9);
+        // The function is monotone in m across the regime switch.
+        let mut prev = 0.0;
+        for k in [1u64, 2, 4, 8, 12, 16, 24, 48, 100, 1000] {
+            let v = one_choice_gap(N, k * N);
+            assert!(v >= prev - 1e-9, "not monotone at m = {k}n");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn warmup_dominates_linear_bound() {
+        // g·log(ng) ⩾ g + log n for g ⩾ 1 and large n (up to constants it
+        // is the weaker bound).
+        for g in [1u64, 2, 8, 32, 128] {
+            assert!(adv_comp_upper_warmup(N, g) >= adv_comp_upper_linear(N, g) / 2.0);
+        }
+    }
+
+    #[test]
+    fn sublog_bound_beats_linear_for_small_g() {
+        // For g ≪ log n, g/log g·loglog n ≪ g + log n.
+        let g = 4;
+        assert!(adv_comp_upper_sublog(N, g) < adv_comp_upper_linear(N, g));
+    }
+
+    #[test]
+    fn phase_transition_around_log_n() {
+        // For g ⩾ log n the linear term dominates the tight bound; for
+        // g ≪ log n the sublog term does.
+        let logn = (N as f64).ln() as u64; // ≈ 11.5
+        let small = 3u64;
+        let large = 10 * logn;
+        let tight_small = adv_comp_tight(N, small);
+        let tight_large = adv_comp_tight(N, large);
+        assert!(tight_small < tight_large);
+        // At large g the bound is within a factor ~2 of g itself.
+        assert!(tight_large < 2.5 * large as f64);
+    }
+
+    #[test]
+    fn upper_bounds_dominate_lower_bounds() {
+        for g in [2u64, 4, 8, 16, 64, 256] {
+            let upper = adv_comp_tight(N, g);
+            let lower = myopic_lower_sublog(N, g).max(myopic_lower_linear(g));
+            assert!(
+                upper + 1e-9 >= lower,
+                "g={g}: upper {upper} below lower {lower}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_gap_at_n_is_log_over_loglog() {
+        let v = batch_gap(N, N);
+        let logn = (N as f64).ln();
+        assert!((v - logn / (4.0 * logn).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_gap_monotone_in_b() {
+        let mut prev = 0.0;
+        for b in [N / 100, N / 10, N, 4 * N, 12 * N, 100 * N] {
+            let v = batch_gap(N, b);
+            assert!(v >= prev - 1e-9, "batch gap not monotone at b={b}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn batch_gap_linear_regime_for_huge_b() {
+        assert!((batch_gap(N, 100 * N * 12) - 1200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_load_bounds_ordered_and_monotone() {
+        for sigma in [0.5, 1.0, 2.0, 8.0, 32.0, 128.0] {
+            let lo = noisy_load_lower(N, sigma);
+            let hi = noisy_load_upper(N, sigma);
+            assert!(hi > lo, "σ={sigma}: upper {hi} should exceed lower {lo}");
+        }
+        assert!(noisy_load_upper(N, 16.0) > noisy_load_upper(N, 2.0));
+        assert!(noisy_load_lower(N, 64.0) > noisy_load_lower(N, 2.0));
+    }
+
+    #[test]
+    fn table_has_all_settings() {
+        let rows = table_2_3(N, 8, N, 4.0);
+        assert_eq!(rows.len(), 8);
+        assert!(rows.iter().any(|r| r.setting == "g-Bounded"));
+        assert!(rows.iter().any(|r| r.setting == "sigma-Noisy-Load"));
+        for row in &rows {
+            assert!(row.lower.is_some() || row.upper.is_some());
+            assert!(!row.reference.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn warmup_rejects_zero_g() {
+        let _ = adv_comp_upper_warmup(N, 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Theory calculators for *"Balanced Allocations with the Choice of
+//! Noise"* (Los & Sauerwald, PODC 2022).
+//!
+//! Three ingredients for comparing measurements against the paper:
+//!
+//! * [`bounds`] — every upper/lower bound of Tables 2.3 and 11.1 as an
+//!   evaluable formula (growth term without the unknown constant), plus a
+//!   [`table_2_3`](bounds::table_2_3) generator;
+//! * [`layered`] — the layered-induction parameters `k(g)` (Eq. 6.4),
+//!   layer offsets `z_j` (Eq. 6.7), and the lower-bound phase count
+//!   `ℓ(g, n)` (Eq. 11.1);
+//! * [`fit`] — shape verdicts: least-squares fits of measured series
+//!   against predicted growth laws, monotonicity checks, and crossover
+//!   detection.
+//!
+//! # Example: is the measured gap linear in g?
+//!
+//! ```
+//! use balloc_analysis::fit::fit_against;
+//!
+//! // Measured mean gaps for g = 8, 12, 16, 20 (e.g. from Fig. 12.1).
+//! let g = [8.0, 12.0, 16.0, 20.0];
+//! let measured = [13.9, 19.8, 25.4, 31.0];
+//! let fit = fit_against(&measured, &g);
+//! assert!(fit.matches(0.95)); // linear in g, as Theorem 5.12 predicts
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bounds;
+pub mod fit;
+pub mod layered;

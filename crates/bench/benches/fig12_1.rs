@@ -1,0 +1,33 @@
+//! Criterion benchmark for the **Figure 12.1** kernel: time to produce one
+//! sweep point (one process at one noise level, several repetitions) at a
+//! reduced scale. `cargo run -p balloc-bench --bin fig12_1` regenerates the
+//! full figure.
+
+use balloc_noise::{GBounded, GMyopic, SigmaNoisyLoad};
+use balloc_sim::{repeat, RunConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const N: usize = 1_000;
+const BALLS_PER_BIN: u64 = 50;
+const RUNS: usize = 5;
+
+fn fig12_1_kernel(c: &mut Criterion) {
+    let base = RunConfig::per_bin(N, BALLS_PER_BIN, 7);
+    c.bench_function("fig12_1_point_g_bounded_8", |b| {
+        b.iter(|| black_box(repeat(|| GBounded::new(8), base, RUNS, 1)));
+    });
+    c.bench_function("fig12_1_point_g_myopic_8", |b| {
+        b.iter(|| black_box(repeat(|| GMyopic::new(8), base, RUNS, 1)));
+    });
+    c.bench_function("fig12_1_point_sigma_noisy_8", |b| {
+        b.iter(|| black_box(repeat(|| SigmaNoisyLoad::new(8.0), base, RUNS, 1)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig12_1_kernel
+}
+criterion_main!(benches);

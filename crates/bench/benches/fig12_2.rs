@@ -1,0 +1,33 @@
+//! Criterion benchmark for the **Figure 12.2** kernel: one `b-Batch` sweep
+//! point and its One-Choice(b) comparison at reduced scale. The binary
+//! `fig12_2` regenerates the full figure.
+
+use balloc_noise::Batched;
+use balloc_processes::OneChoice;
+use balloc_sim::{repeat, RunConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const N: usize = 1_000;
+const BALLS_PER_BIN: u64 = 50;
+const RUNS: usize = 5;
+
+fn fig12_2_kernel(c: &mut Criterion) {
+    let base = RunConfig::per_bin(N, BALLS_PER_BIN, 11);
+    for b in [10u64, 1_000, 10_000] {
+        c.bench_function(&format!("fig12_2_point_batch_{b}"), |bench| {
+            bench.iter(|| black_box(repeat(|| Batched::new(b), base, RUNS, 1)));
+        });
+    }
+    c.bench_function("fig12_2_point_one_choice_b", |bench| {
+        let oc = RunConfig::new(N, 1_000, 13);
+        bench.iter(|| black_box(repeat(|| OneChoice::new(), oc, RUNS, 1)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig12_2_kernel
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benchmarks for the potential-function machinery: O(n)
+//! evaluation and the O(n²) exact expected-drop computation used by the
+//! `potential_drop` ablation and the drop-inequality tests.
+
+use balloc_core::{LoadState, PerfectDecider, Process, Rng, TieBreak, TwoChoice};
+use balloc_potentials::{
+    expected_drop_for_decider, AbsoluteValue, HyperbolicCosine, Potential, Quadratic,
+    SuperExponential,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn evolved_state(n: usize) -> LoadState {
+    let mut state = LoadState::new(n);
+    let mut rng = Rng::from_seed(9);
+    TwoChoice::classic().run(&mut state, 20 * n as u64, &mut rng);
+    state
+}
+
+fn potentials(c: &mut Criterion) {
+    let state = evolved_state(10_000);
+    let gamma = HyperbolicCosine::new(0.5);
+    let quad = Quadratic::new();
+    let abs = AbsoluteValue::new();
+    let phi = SuperExponential::new(4.0, 3.0);
+
+    c.bench_function("potential_eval_gamma_n10k", |b| {
+        b.iter(|| black_box(gamma.value(&state)));
+    });
+    c.bench_function("potential_eval_quadratic_n10k", |b| {
+        b.iter(|| black_box(quad.value(&state)));
+    });
+    c.bench_function("potential_eval_absolute_n10k", |b| {
+        b.iter(|| black_box(abs.value(&state)));
+    });
+    c.bench_function("potential_eval_superexp_n10k", |b| {
+        b.iter(|| black_box(phi.value(&state)));
+    });
+
+    let small = evolved_state(256);
+    let decider = PerfectDecider::new(TieBreak::Random);
+    c.bench_function("exact_drop_quadratic_n256", |b| {
+        b.iter(|| black_box(expected_drop_for_decider(&quad, &decider, &small)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = potentials
+}
+criterion_main!(benches);

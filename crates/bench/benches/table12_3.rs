@@ -1,0 +1,41 @@
+//! Criterion benchmark for the **Table 12.3** kernel: building one
+//! gap-distribution cell (process × parameter) at reduced scale. The
+//! binary `table12_3` regenerates the full table.
+
+use balloc_noise::{GBounded, GMyopic, SigmaNoisyLoad};
+use balloc_sim::{repeat, GapDistribution, RunConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const N: usize = 1_000;
+const BALLS_PER_BIN: u64 = 50;
+const RUNS: usize = 10;
+
+fn table12_3_kernel(c: &mut Criterion) {
+    let base = RunConfig::per_bin(N, BALLS_PER_BIN, 3);
+    c.bench_function("table12_3_cell_bounded_g4", |b| {
+        b.iter(|| {
+            let results = repeat(|| GBounded::new(4), base, RUNS, 1);
+            black_box(GapDistribution::from_results(&results))
+        });
+    });
+    c.bench_function("table12_3_cell_myopic_g4", |b| {
+        b.iter(|| {
+            let results = repeat(|| GMyopic::new(4), base, RUNS, 1);
+            black_box(GapDistribution::from_results(&results))
+        });
+    });
+    c.bench_function("table12_3_cell_noisy_sigma4", |b| {
+        b.iter(|| {
+            let results = repeat(|| SigmaNoisyLoad::new(4.0), base, RUNS, 1);
+            black_box(GapDistribution::from_results(&results))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = table12_3_kernel
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmark for the **Table 12.4** kernel: one `b-Batch`
+//! distribution cell and its One-Choice(b) counterpart at reduced scale.
+//! The binary `table12_4` regenerates the full table.
+
+use balloc_noise::Batched;
+use balloc_processes::OneChoice;
+use balloc_sim::{repeat, GapDistribution, RunConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const N: usize = 1_000;
+const BALLS_PER_BIN: u64 = 50;
+const RUNS: usize = 10;
+
+fn table12_4_kernel(c: &mut Criterion) {
+    let base = RunConfig::per_bin(N, BALLS_PER_BIN, 5);
+    c.bench_function("table12_4_cell_batch_n", |b| {
+        b.iter(|| {
+            let results = repeat(|| Batched::new(N as u64), base, RUNS, 1);
+            black_box(GapDistribution::from_results(&results))
+        });
+    });
+    c.bench_function("table12_4_cell_one_choice_n", |b| {
+        let oc = RunConfig::new(N, N as u64, 5);
+        b.iter(|| {
+            let results = repeat(|| OneChoice::new(), oc, RUNS, 1);
+            black_box(GapDistribution::from_results(&results))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = table12_4_kernel
+}
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Ablation **A2**: `τ-Delay` versus `b-Batch` versus One-Choice(b).
+//!
+//! Theorem 10.2 / Corollary 10.4 show that the *asynchronous* `τ-Delay`
+//! setting achieves the same `Θ(log n/log((4n/τ)·log n))` gap as the
+//! synchronized `b-Batch` — "the special property of batching to reset all
+//! load values … is not crucial". This binary measures both (several delay
+//! strategies) across τ = b around n.
+
+use balloc_analysis::bounds::batch_gap;
+use balloc_bench::{fmt3, print_header, save_json, CommonArgs};
+use balloc_noise::{Batched, DelayStrategy, Delayed};
+use balloc_sim::{repeat, RunConfig, SweepPoint, TextTable};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct DelayVsBatch {
+    scale: String,
+    taus: Vec<u64>,
+    batch: Vec<SweepPoint>,
+    delay_stalest: Vec<SweepPoint>,
+    delay_flip: Vec<SweepPoint>,
+    delay_random: Vec<SweepPoint>,
+}
+
+fn main() {
+    let args = CommonArgs::parse(
+        "delay_vs_batch: tau-Delay (three strategies) vs b-Batch for tau = b around n (Thm 10.2, Cor 10.4)",
+    );
+    print_header("A2", "delay vs batch", &args);
+
+    let n = args.n as u64;
+    let taus: Vec<u64> = [n / 100, n / 10, n / 2, n, 2 * n, 8 * n]
+        .into_iter()
+        .filter(|&t| t >= 1 && t <= args.m())
+        .collect();
+
+    let mut batch = Vec::new();
+    let mut stalest = Vec::new();
+    let mut flip = Vec::new();
+    let mut random = Vec::new();
+
+    for (j, &tau) in taus.iter().enumerate() {
+        let base = RunConfig::new(args.n, args.m(), args.seed.wrapping_add(j as u64 * 10));
+        batch.push(SweepPoint::from_results(
+            tau as f64,
+            repeat(|| Batched::new(tau), base, args.runs, args.threads),
+        ));
+        stalest.push(SweepPoint::from_results(
+            tau as f64,
+            repeat(
+                || Delayed::new(tau, DelayStrategy::Stalest),
+                base.with_seed(base.seed + 1),
+                args.runs,
+                args.threads,
+            ),
+        ));
+        flip.push(SweepPoint::from_results(
+            tau as f64,
+            repeat(
+                || Delayed::new(tau, DelayStrategy::AdversarialFlip),
+                base.with_seed(base.seed + 2),
+                args.runs,
+                args.threads,
+            ),
+        ));
+        random.push(SweepPoint::from_results(
+            tau as f64,
+            repeat(
+                || Delayed::new(tau, DelayStrategy::RandomInWindow),
+                base.with_seed(base.seed + 3),
+                args.runs,
+                args.threads,
+            ),
+        ));
+    }
+
+    let mut table = TextTable::new(vec![
+        "tau = b".into(),
+        "b-Batch".into(),
+        "Delay/Stalest".into(),
+        "Delay/AdvFlip".into(),
+        "Delay/Random".into(),
+        "theory".into(),
+    ]);
+    for i in 0..taus.len() {
+        table.push_row(vec![
+            taus[i].to_string(),
+            fmt3(batch[i].mean_gap),
+            fmt3(stalest[i].mean_gap),
+            fmt3(flip[i].mean_gap),
+            fmt3(random[i].mean_gap),
+            fmt3(batch_gap(n, taus[i])),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("shape checks:");
+    for i in 0..taus.len() {
+        let ratio = stalest[i].mean_gap / batch[i].mean_gap.max(0.1);
+        println!(
+            "  tau = {:>8}: stalest-delay/batch gap ratio {} (expect O(1))",
+            taus[i],
+            fmt3(ratio)
+        );
+    }
+
+    let artifact = DelayVsBatch {
+        scale: args.scale_line(),
+        taus,
+        batch,
+        delay_stalest: stalest,
+        delay_flip: flip,
+        delay_random: random,
+    };
+    match save_json("delay_vs_batch", &artifact) {
+        Ok(path) => println!("\nresults saved to {}", path.display()),
+        Err(e) => eprintln!("\nwarning: could not save results: {e}"),
+    }
+}

@@ -1,0 +1,107 @@
+//! Regenerates **Figure 12.2**: average gap of `b-Batch` versus batch size
+//! `b`, compared with `One-Choice` allocating `m = b` balls.
+//!
+//! Paper setup: b ∈ {5, 10, 50, 10², …, 10⁵, 5·10⁵}, n = 10⁴, m = 1000·n,
+//! 100 runs.
+//!
+//! Expected shape (Section 12 / Theorem 10.2 / Remark 10.6): for `b ⩾ n`
+//! the `b-Batch` gap tracks the One-Choice(b) gap; for `b ≪ n` it flattens
+//! at a small constant while One-Choice(b) keeps falling — the two curves
+//! cross near `b = n`.
+
+use balloc_analysis::bounds::{batch_gap, one_choice_gap};
+use balloc_bench::{fmt3, print_header, save_json, CommonArgs};
+use balloc_noise::Batched;
+use balloc_processes::OneChoice;
+use balloc_sim::{repeat, RunConfig, SweepPoint, TextTable};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Figure12_2 {
+    scale: String,
+    batch_sizes: Vec<u64>,
+    batched: Vec<SweepPoint>,
+    one_choice_with_b_balls: Vec<SweepPoint>,
+}
+
+fn main() {
+    let args = CommonArgs::parse(
+        "fig12_2: average gap of b-Batch vs batch size, against One-Choice with m = b (paper Fig. 12.2)",
+    );
+    print_header("F12.2", "gap vs batch size b", &args);
+
+    // The paper's batch sizes, capped at m.
+    let m = args.m();
+    let batch_sizes: Vec<u64> = [5u64, 10, 50, 100, 1_000, 10_000, 100_000, 500_000]
+        .into_iter()
+        .filter(|&b| b <= m)
+        .collect();
+
+    let mut batched = Vec::new();
+    let mut one_choice = Vec::new();
+    for (j, &b) in batch_sizes.iter().enumerate() {
+        let base = RunConfig::new(args.n, m, args.seed.wrapping_add(j as u64));
+        let results = repeat(|| Batched::new(b), base, args.runs, args.threads);
+        batched.push(SweepPoint::from_results(b as f64, results));
+
+        // One-Choice with exactly b balls into the same n bins.
+        let oc_base = RunConfig::new(args.n, b, args.seed.wrapping_add(500 + j as u64));
+        let oc_results = repeat(OneChoice::new, oc_base, args.runs, args.threads);
+        one_choice.push(SweepPoint::from_results(b as f64, oc_results));
+    }
+
+    let mut table = TextTable::new(vec![
+        "b".into(),
+        "b-Batch gap (m)".into(),
+        "One-Choice gap (m=b)".into(),
+        "theory batch".into(),
+        "theory one-choice".into(),
+    ]);
+    for i in 0..batch_sizes.len() {
+        let b = batch_sizes[i];
+        table.push_row(vec![
+            b.to_string(),
+            fmt3(batched[i].mean_gap),
+            fmt3(one_choice[i].mean_gap),
+            fmt3(batch_gap(args.n as u64, b)),
+            fmt3(one_choice_gap(args.n as u64, b)),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Shape summary: the curves should converge for b >= n.
+    println!("shape checks:");
+    for i in 0..batch_sizes.len() {
+        let b = batch_sizes[i];
+        if b >= args.n as u64 {
+            let ratio = batched[i].mean_gap / one_choice[i].mean_gap.max(0.1);
+            println!(
+                "  b = {b} (>= n): batch/one-choice gap ratio = {}",
+                fmt3(ratio)
+            );
+        }
+    }
+    let small_b: Vec<f64> = batch_sizes
+        .iter()
+        .zip(&batched)
+        .filter(|(b, _)| **b < args.n as u64 / 10)
+        .map(|(_, p)| p.mean_gap)
+        .collect();
+    if !small_b.is_empty() {
+        println!(
+            "  small-b plateau (b << n): gaps {:?} — expected near the noiseless Two-Choice value",
+            small_b.iter().map(|g| fmt3(*g)).collect::<Vec<_>>()
+        );
+    }
+
+    let artifact = Figure12_2 {
+        scale: args.scale_line(),
+        batch_sizes,
+        batched,
+        one_choice_with_b_balls: one_choice,
+    };
+    match save_json("fig12_2", &artifact) {
+        Ok(path) => println!("\nresults saved to {}", path.display()),
+        Err(e) => eprintln!("\nwarning: could not save results: {e}"),
+    }
+}

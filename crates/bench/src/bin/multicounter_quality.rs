@@ -1,0 +1,136 @@
+//! Ablation **A5**: quality of the relaxed concurrent multi-counter under
+//! contention.
+//!
+//! The paper cites the multi-counter of \[3, 44\] as the application of its
+//! `g-Adv-Comp` bounds. This binary measures the structure's quality
+//! (max cell − average cell) across thread counts and snapshot-refresh
+//! intervals, alongside the `b-Batch` theory term with `b = threads ·
+//! refresh`.
+
+use balloc_analysis::bounds::batch_gap;
+use balloc_bench::{fmt3, print_header, save_json, CommonArgs};
+use balloc_core::Rng;
+use balloc_multicounter::MultiCounter;
+use balloc_sim::TextTable;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct QualityPoint {
+    threads: u64,
+    refresh: usize,
+    quality: f64,
+    theory_term: f64,
+}
+
+#[derive(Serialize)]
+struct MulticounterQuality {
+    scale: String,
+    width: usize,
+    increments: u64,
+    live_reads: Vec<QualityPoint>,
+    cached_reads: Vec<QualityPoint>,
+}
+
+fn main() {
+    let args = CommonArgs::parse(
+        "multicounter_quality: quality (max - avg cell) of the two-choice multi-counter under contention",
+    );
+    print_header("A5", "multi-counter quality", &args);
+
+    let width = 256usize;
+    let per_thread = 200_000u64;
+    let mut live = Vec::new();
+    let mut cached = Vec::new();
+
+    // Live reads: staleness comes from racing threads (τ ≈ #threads).
+    for threads in [1u64, 2, 4, 8] {
+        let counter = MultiCounter::new(width);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let counter = &counter;
+                let seed = args.seed + t;
+                scope.spawn(move || {
+                    let mut rng = Rng::from_seed(seed);
+                    for _ in 0..per_thread {
+                        counter.increment(&mut rng);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.value(), threads * per_thread);
+        live.push(QualityPoint {
+            threads,
+            refresh: 0,
+            quality: counter.quality(),
+            theory_term: batch_gap(width as u64, threads.max(1)),
+        });
+    }
+
+    // Cached reads: per-thread snapshots refreshed every R increments
+    // (the b-Batch regime with b ≈ threads·R).
+    for refresh in [16usize, 64, 256, 1024] {
+        let threads = 4u64;
+        let counter = MultiCounter::new(width);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let counter = &counter;
+                let seed = args.seed + 100 + t;
+                scope.spawn(move || {
+                    let mut handle = counter.cached_handle(refresh, seed);
+                    for _ in 0..per_thread {
+                        handle.increment();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.value(), threads * per_thread);
+        cached.push(QualityPoint {
+            threads,
+            refresh,
+            quality: counter.quality(),
+            theory_term: batch_gap(width as u64, (threads * refresh as u64).max(1)),
+        });
+    }
+
+    let mut t1 = TextTable::new(vec![
+        "threads (live reads)".into(),
+        "quality".into(),
+        "b-Batch term (b=threads)".into(),
+    ]);
+    for p in &live {
+        t1.push_row(vec![
+            p.threads.to_string(),
+            fmt3(p.quality),
+            fmt3(p.theory_term),
+        ]);
+    }
+    println!("{}", t1.render());
+
+    let mut t2 = TextTable::new(vec![
+        "refresh (4 threads)".into(),
+        "quality".into(),
+        "b-Batch term (b=4*refresh)".into(),
+    ]);
+    for p in &cached {
+        t2.push_row(vec![
+            p.refresh.to_string(),
+            fmt3(p.quality),
+            fmt3(p.theory_term),
+        ]);
+    }
+    println!("{}", t2.render());
+
+    println!("expected: quality grows slowly with contention/staleness, tracking the b-Batch law.");
+
+    let artifact = MulticounterQuality {
+        scale: args.scale_line(),
+        width,
+        increments: per_thread,
+        live_reads: live,
+        cached_reads: cached,
+    };
+    match save_json("multicounter_quality", &artifact) {
+        Ok(path) => println!("\nresults saved to {}", path.display()),
+        Err(e) => eprintln!("\nwarning: could not save results: {e}"),
+    }
+}

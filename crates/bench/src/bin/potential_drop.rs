@@ -1,0 +1,161 @@
+//! Ablation **A3**: empirical verification of the paper's drop
+//! inequalities along real trajectories.
+//!
+//! Runs `g-Bounded` and periodically computes the **exact** conditional
+//! expected one-step change of:
+//!
+//! * the hyperbolic cosine `Γ(γ(g))` against Theorem 4.3(i):
+//!   `E[ΔΓ] ⩽ −(γ/96n)·Γ + c₁`;
+//! * the quadratic `Υ` against Lemma 5.3: `E[ΔΥ] ⩽ −Δ/n + 2g + 1`;
+//! * the offset potential `Λ(α, c₄g)` in *good* steps (`Δ ⩽ D·n·g`)
+//!   against Lemma 5.7.
+//!
+//! Reports the worst margins; all inequalities should hold with room to
+//! spare (the paper's constants are generous).
+
+use balloc_bench::{fmt3, print_header, save_json, CommonArgs};
+use balloc_core::{LoadState, Process, Rng};
+use balloc_noise::{AdvComp, ReverseAll};
+use balloc_core::TwoChoice;
+use balloc_potentials::constants::{gamma_for_g, C4, D};
+use balloc_potentials::{
+    expected_drop_for_decider, AbsoluteValue, HyperbolicCosine, OffsetHyperbolicCosine,
+    Potential, Quadratic,
+};
+use balloc_sim::TextTable;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct DropCheck {
+    step: u64,
+    gamma_drop: f64,
+    gamma_bound: f64,
+    quadratic_drop: f64,
+    quadratic_bound: f64,
+    lambda_drop: Option<f64>,
+    good_step: bool,
+}
+
+#[derive(Serialize)]
+struct PotentialDrop {
+    scale: String,
+    g: u64,
+    checks: Vec<DropCheck>,
+    gamma_violations: usize,
+    quadratic_violations: usize,
+}
+
+fn main() {
+    let mut args = CommonArgs::parse(
+        "potential_drop: exact verification of the paper's drop inequalities (Thm 4.3(i), Lem 5.3, Lem 5.7) along a g-Bounded trajectory",
+    );
+    // Exact drops cost O(n²) per check; default to a smaller n unless the
+    // user overrides.
+    if args.n == CommonArgs::default().n {
+        args.n = 512;
+    }
+    print_header("A3", "drop-inequality verification", &args);
+
+    let g = 4u64;
+    let n = args.n;
+    let gamma = gamma_for_g(g);
+    let gamma_pot = HyperbolicCosine::new(gamma);
+    let quad = Quadratic::new();
+    let delta_pot = AbsoluteValue::new();
+    let lambda = OffsetHyperbolicCosine::new(1.0 / 18.0, C4 * g as f64);
+
+    let decider = AdvComp::new(g, ReverseAll);
+    let mut process = TwoChoice::new(decider.clone());
+    let mut state = LoadState::new(n);
+    let mut rng = Rng::from_seed(args.seed);
+
+    let total_steps = (args.m()).min(400 * n as u64);
+    let check_every = (total_steps / 40).max(1);
+    let mut checks = Vec::new();
+
+    let mut done = 0u64;
+    while done < total_steps {
+        let burst = check_every.min(total_steps - done);
+        process.run(&mut state, burst, &mut rng);
+        done += burst;
+
+        let gamma_drop = expected_drop_for_decider(&gamma_pot, &decider, &state);
+        // Theorem 4.3(i) with c₁ := 8 (the paper's constant is unspecified
+        // but small; violations would show up as a positive margin).
+        let gamma_bound = -gamma / (96.0 * n as f64) * gamma_pot.value(&state) + 8.0;
+
+        let quadratic_drop = expected_drop_for_decider(&quad, &decider, &state);
+        let quadratic_bound = -delta_pot.value(&state) / n as f64 + 2.0 * g as f64 + 1.0;
+
+        let good_step = delta_pot.value(&state) <= D * n as f64 * g as f64;
+        let lambda_drop = if good_step {
+            Some(expected_drop_for_decider(&lambda, &decider, &state))
+        } else {
+            None
+        };
+
+        checks.push(DropCheck {
+            step: done,
+            gamma_drop,
+            gamma_bound,
+            quadratic_drop,
+            quadratic_bound,
+            lambda_drop,
+            good_step,
+        });
+    }
+
+    let mut table = TextTable::new(vec![
+        "step".into(),
+        "E[dGamma]".into(),
+        "Thm4.3 bound".into(),
+        "E[dUpsilon]".into(),
+        "Lem5.3 bound".into(),
+        "E[dLambda] (good)".into(),
+    ]);
+    for c in checks.iter().step_by((checks.len() / 12).max(1)) {
+        table.push_row(vec![
+            c.step.to_string(),
+            fmt3(c.gamma_drop),
+            fmt3(c.gamma_bound),
+            fmt3(c.quadratic_drop),
+            fmt3(c.quadratic_bound),
+            c.lambda_drop.map(fmt3).unwrap_or_else(|| "(bad step)".into()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let gamma_violations = checks
+        .iter()
+        .filter(|c| c.gamma_drop > c.gamma_bound + 1e-9)
+        .count();
+    let quadratic_violations = checks
+        .iter()
+        .filter(|c| c.quadratic_drop > c.quadratic_bound + 1e-9)
+        .count();
+    println!(
+        "violations: Gamma {}/{}  Upsilon {}/{}",
+        gamma_violations,
+        checks.len(),
+        quadratic_violations,
+        checks.len()
+    );
+    let good = checks.iter().filter(|c| c.good_step).count();
+    println!(
+        "good steps (Delta <= D·n·g): {}/{} — Lemma 5.4 predicts a constant fraction",
+        good,
+        checks.len()
+    );
+
+    let artifact = PotentialDrop {
+        scale: args.scale_line(),
+        g,
+        checks,
+        gamma_violations,
+        quadratic_violations,
+    };
+    match save_json("potential_drop", &artifact) {
+        Ok(path) => println!("\nresults saved to {}", path.display()),
+        Err(e) => eprintln!("\nwarning: could not save results: {e}"),
+    }
+}

@@ -1,0 +1,139 @@
+//! Ablation **A7**: two-choice queueing under the periodic update model.
+//!
+//! Mitzenmacher's periodic update model (\[39\], cited by the paper as the
+//! queueing incarnation of `b-Batch`) and Dahlin's stale-load study \[22\]:
+//! jobs join the shorter of two sampled queues, but the lengths they read
+//! are refreshed only every `T` slots. This binary sweeps `T` and shows
+//! the three regimes: free (T small), b-Batch-like degradation (T ~ n),
+//! and **herding** (T ≫ n — stale two-choice becomes *worse than random*).
+
+use balloc_bench::{fmt3, print_header, save_json, CommonArgs};
+use balloc_core::Rng;
+use balloc_dynamic::{JoinPolicy, Supermarket};
+use balloc_sim::TextTable;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct QueueingPoint {
+    update_period: u64,
+    average_jobs: f64,
+    mean_sojourn_slots: f64,
+    max_queue: u64,
+}
+
+#[derive(Serialize)]
+struct QueueingStale {
+    scale: String,
+    servers: usize,
+    lambda: f64,
+    mu: f64,
+    slots: u64,
+    random_baseline: QueueingPoint,
+    live_two_choice: QueueingPoint,
+    stale_points: Vec<QueueingPoint>,
+}
+
+fn measure(policy: JoinPolicy, n: usize, lambda: f64, mu: f64, slots: u64, seed: u64) -> QueueingPoint {
+    let mut market = Supermarket::new(n, lambda, mu, policy);
+    let mut rng = Rng::from_seed(seed);
+    market.run(slots, &mut rng);
+    let m = market.metrics();
+    QueueingPoint {
+        update_period: match policy {
+            JoinPolicy::TwoChoiceStale { update_period } => update_period,
+            _ => 0,
+        },
+        average_jobs: m.average_jobs(),
+        mean_sojourn_slots: m.mean_sojourn(),
+        max_queue: m.max_queue,
+    }
+}
+
+fn main() {
+    let args = CommonArgs::parse(
+        "queueing_stale: two-choice queueing under periodic load updates (periodic update model of [39])",
+    );
+    print_header("A7", "queueing with stale information", &args);
+
+    let n = args.n.min(2_000); // O(n) work per slot
+    let lambda = 0.75;
+    let mu = 0.9;
+    let slots = 6_000u64;
+    println!("servers = {n}, lambda = {lambda}, mu = {mu}, slots = {slots}\n");
+
+    let random = measure(JoinPolicy::Random, n, lambda, mu, slots, args.seed);
+    let live = measure(JoinPolicy::TwoChoice, n, lambda, mu, slots, args.seed + 1);
+
+    let periods = [1u64, 10, 100, 500, 2_000, 5_000];
+    let stale: Vec<QueueingPoint> = periods
+        .iter()
+        .enumerate()
+        .map(|(j, &t)| {
+            measure(
+                JoinPolicy::TwoChoiceStale { update_period: t },
+                n,
+                lambda,
+                mu,
+                slots,
+                args.seed + 2 + j as u64,
+            )
+        })
+        .collect();
+
+    let mut table = TextTable::new(vec![
+        "policy".into(),
+        "avg jobs".into(),
+        "mean sojourn (slots)".into(),
+        "max queue".into(),
+    ]);
+    table.push_row(vec![
+        "Random (One-Choice)".into(),
+        fmt3(random.average_jobs),
+        fmt3(random.mean_sojourn_slots),
+        random.max_queue.to_string(),
+    ]);
+    table.push_row(vec![
+        "Two-Choice (live)".into(),
+        fmt3(live.average_jobs),
+        fmt3(live.mean_sojourn_slots),
+        live.max_queue.to_string(),
+    ]);
+    for p in &stale {
+        table.push_row(vec![
+            format!("Two-Choice stale T = {}", p.update_period),
+            fmt3(p.average_jobs),
+            fmt3(p.mean_sojourn_slots),
+            p.max_queue.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("shape checks:");
+    println!(
+        "  live two-choice beats random: {}",
+        live.average_jobs < random.average_jobs
+    );
+    let herding = stale
+        .iter()
+        .filter(|p| p.average_jobs > random.average_jobs)
+        .map(|p| p.update_period)
+        .collect::<Vec<_>>();
+    println!(
+        "  herding (stale worse than random) at T ∈ {herding:?} — [39]'s phenomenon"
+    );
+
+    let artifact = QueueingStale {
+        scale: args.scale_line(),
+        servers: n,
+        lambda,
+        mu,
+        slots,
+        random_baseline: random,
+        live_two_choice: live,
+        stale_points: stale,
+    };
+    match save_json("queueing_stale", &artifact) {
+        Ok(path) => println!("\nresults saved to {}", path.display()),
+        Err(e) => eprintln!("\nwarning: could not save results: {e}"),
+    }
+}

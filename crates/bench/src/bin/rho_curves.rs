@@ -1,0 +1,47 @@
+//! Regenerates **Figure 2.2**: the correct-comparison probability `ρ(δ)`
+//! for `g-Bounded`, `g-Myopic-Comp`, and `σ-Noisy-Load`, printed as a
+//! table and ASCII plot.
+
+use balloc_bench::CommonArgs;
+use balloc_noise::rho::{BoundedRho, GaussianRho, MyopicRho, RhoFunction};
+use balloc_sim::TextTable;
+
+fn ascii_bar(p: f64) -> String {
+    let width = 30;
+    let filled = (p * width as f64).round() as usize;
+    format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
+}
+
+fn main() {
+    let _ = CommonArgs::parse(
+        "rho_curves: the rho(delta) correct-comparison curves of paper Fig. 2.2 (parameters fixed: g = 5, sigma = 5)",
+    );
+    let g = 5u64;
+    let sigma = 5.0;
+    let bounded = BoundedRho::new(g);
+    let myopic = MyopicRho::new(g);
+    let gaussian = GaussianRho::new(sigma);
+
+    println!("== F2.2: rho(delta) for g-Bounded(g={g}), g-Myopic-Comp(g={g}), sigma-Noisy-Load(sigma={sigma}) ==\n");
+
+    let mut table = TextTable::new(vec![
+        "delta".into(),
+        "g-Bounded".into(),
+        "g-Myopic".into(),
+        "sigma-Noisy-Load".into(),
+        "gaussian curve".into(),
+    ]);
+    for delta in 0..=15u64 {
+        table.push_row(vec![
+            delta.to_string(),
+            format!("{:.2}", bounded.rho(delta)),
+            format!("{:.2}", myopic.rho(delta)),
+            format!("{:.4}", gaussian.rho(delta)),
+            ascii_bar(gaussian.rho(delta)),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("step functions jump to 1 at delta = g + 1 = {};", g + 1);
+    println!("the Gaussian curve rises smoothly: rho(sigma) = 1 - e^(-1)/2 = {:.4}.", 1.0 - 0.5 * (-1.0f64).exp());
+}

@@ -1,0 +1,213 @@
+//! Regenerates **Table 11.1** (the lower-bound table): runs each
+//! lower-bound construction at the specific ball count `m` the paper
+//! uses and reports the measured gap against the bound's growth term.
+//!
+//! * Observation 11.1 — any `g-Adv-Comp` instance at `m = n` has gap at
+//!   least `log₂ log n − κ` (majorization with noiseless Two-Choice).
+//! * Proposition 11.2(i) — `g-Myopic-Comp` at `m = ng/2` has gap `⩾ g/35`.
+//! * Proposition 11.2(ii) — for `g ⩾ 6·log n`, at `m = ng²/(32·log n)`
+//!   the gap is `⩾ g/60`.
+//! * Theorem 11.3 — the `Ω(g/log g·log log n)` regime (vacuous at
+//!   simulable `n`; the shape is checked instead).
+//! * Proposition 11.5 — `σ-Noisy-Load` lower bounds at `m = n` and
+//!   `m = σ^{4/5}·n/2`.
+//! * Observation 11.6 — `b-Batch` inherits the One-Choice(b) gap in its
+//!   first batch.
+
+use balloc_analysis::bounds::{noisy_load_lower, one_choice_gap};
+use balloc_bench::{fmt3, print_header, save_json, CommonArgs};
+use balloc_core::stats::Summary;
+use balloc_core::Process;
+use balloc_noise::{Batched, GMyopic, SigmaNoisyLoad};
+use balloc_core::TwoChoice;
+use balloc_sim::{gaps, repeat, RunConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct LowerBoundCheck {
+    claim: String,
+    m: u64,
+    bound_value: f64,
+    measured_mean_gap: f64,
+    satisfied: bool,
+}
+
+#[derive(Serialize)]
+struct Table11_1 {
+    scale: String,
+    checks: Vec<LowerBoundCheck>,
+}
+
+fn mean_gap(
+    factory: impl Fn() -> Box<dyn Process + Send> + Sync,
+    config: RunConfig,
+    runs: usize,
+    threads: usize,
+) -> f64 {
+    Summary::from_values(&gaps(&repeat(factory, config, runs, threads))).mean()
+}
+
+fn main() {
+    let args = CommonArgs::parse(
+        "table11_1: the paper's lower-bound constructions at their specific m, measured (paper Table 11.1)",
+    );
+    print_header("T11.1", "lower-bound constructions", &args);
+
+    let n = args.n as u64;
+    let logn = (n as f64).ln();
+    let mut checks: Vec<LowerBoundCheck> = Vec::new();
+    let runs = args.runs;
+    let threads = args.threads;
+
+    // Observation 11.1: Two-Choice itself (the weakest g-Adv-Comp
+    // adversary) at m = n has gap ≈ log₂ log n − κ.
+    {
+        let bound = (logn / 2f64.ln()).log2() - 2.0; // κ ≈ 2 empirically
+        let measured = mean_gap(
+            || Box::new(TwoChoice::classic()),
+            RunConfig::new(args.n, n, args.seed),
+            runs,
+            threads,
+        );
+        checks.push(LowerBoundCheck {
+            claim: "Obs 11.1: any g-Adv-Comp, m = n, gap >= log2 log n - k".into(),
+            m: n,
+            bound_value: bound,
+            measured_mean_gap: measured,
+            satisfied: measured >= bound,
+        });
+    }
+
+    // Proposition 11.2(i): g-Myopic at m = ng/2 has gap >= g/35.
+    for g in [8u64, 16, 32] {
+        let m = n * g / 2;
+        let measured = mean_gap(
+            || Box::new(GMyopic::new(g)),
+            RunConfig::new(args.n, m, args.seed + g),
+            runs,
+            threads,
+        );
+        let bound = g as f64 / 35.0;
+        checks.push(LowerBoundCheck {
+            claim: format!("Prop 11.2(i): g-Myopic-Comp, g = {g}, m = ng/2, gap >= g/35"),
+            m,
+            bound_value: bound,
+            measured_mean_gap: measured,
+            satisfied: measured >= bound,
+        });
+    }
+
+    // Proposition 11.2(ii): g >= 6 log n, m = ng²/(32 log n), gap >= g/60.
+    {
+        let g = (6.0 * logn).ceil() as u64 + 2;
+        let m = ((n as f64) * (g * g) as f64 / (32.0 * logn)).ceil() as u64;
+        let measured = mean_gap(
+            || Box::new(GMyopic::new(g)),
+            RunConfig::new(args.n, m, args.seed + 77),
+            runs,
+            threads,
+        );
+        let bound = g as f64 / 60.0;
+        checks.push(LowerBoundCheck {
+            claim: format!("Prop 11.2(ii): g-Myopic-Comp, g = {g} (>= 6 log n), gap >= g/60"),
+            m,
+            bound_value: bound,
+            measured_mean_gap: measured,
+            satisfied: measured >= bound,
+        });
+    }
+
+    // Theorem 11.3 shape: at m = n·ℓ with small ℓ, the myopic gap grows
+    // with g at least like the sublog term (shape check at ℓ = 4).
+    {
+        let ell = 4u64;
+        let m = n * ell;
+        for g in [4u64, 16] {
+            let measured = mean_gap(
+                || Box::new(GMyopic::new(g)),
+                RunConfig::new(args.n, m, args.seed + 200 + g),
+                runs,
+                threads,
+            );
+            let bound = balloc_analysis::layered::myopic_lower_value(n, g) / 4.0;
+            checks.push(LowerBoundCheck {
+                claim: format!(
+                    "Thm 11.3 (shape): g-Myopic-Comp, g = {g}, m = {ell}n, gap ~ g/log g loglog n"
+                ),
+                m,
+                bound_value: bound,
+                measured_mean_gap: measured,
+                satisfied: measured >= bound,
+            });
+        }
+    }
+
+    // Proposition 11.5: σ-Noisy-Load at m = σ^{4/5}·n/2.
+    for sigma in [8.0f64, 32.0] {
+        let m = ((sigma.powf(0.8) * n as f64) / 2.0).ceil() as u64;
+        let measured = mean_gap(
+            || Box::new(SigmaNoisyLoad::new(sigma)),
+            RunConfig::new(args.n, m, args.seed + 300 + sigma as u64),
+            runs,
+            threads,
+        );
+        // The paper's constants are 1/2, 1/30 etc.; use the growth term/8.
+        let bound = noisy_load_lower(n, sigma) / 8.0;
+        checks.push(LowerBoundCheck {
+            claim: format!("Prop 11.5: sigma-Noisy-Load, sigma = {sigma}, m = sigma^0.8 n/2"),
+            m,
+            bound_value: bound,
+            measured_mean_gap: measured,
+            satisfied: measured >= bound,
+        });
+    }
+
+    // Observation 11.6: b-Batch at m = b matches One-Choice(b).
+    {
+        let b = n;
+        let measured = mean_gap(
+            || Box::new(Batched::new(b)),
+            RunConfig::new(args.n, b, args.seed + 400),
+            runs,
+            threads,
+        );
+        let bound = one_choice_gap(n, b) / 4.0;
+        checks.push(LowerBoundCheck {
+            claim: "Obs 11.6: b-Batch, m = b = n, gap ~ One-Choice(b)".into(),
+            m: b,
+            bound_value: bound,
+            measured_mean_gap: measured,
+            satisfied: measured >= bound,
+        });
+    }
+
+    println!(
+        "{:<75} {:>10} {:>10} {:>10} {:>6}",
+        "claim", "m", "bound", "measured", "ok"
+    );
+    println!("{}", "-".repeat(115));
+    for c in &checks {
+        println!(
+            "{:<75} {:>10} {:>10} {:>10} {:>6}",
+            c.claim,
+            c.m,
+            fmt3(c.bound_value),
+            fmt3(c.measured_mean_gap),
+            if c.satisfied { "yes" } else { "NO" }
+        );
+    }
+    let all_ok = checks.iter().all(|c| c.satisfied);
+    println!(
+        "\nall lower-bound constructions exhibited: {}",
+        if all_ok { "yes" } else { "NO — investigate" }
+    );
+
+    let artifact = Table11_1 {
+        scale: args.scale_line(),
+        checks,
+    };
+    match save_json("table11_1", &artifact) {
+        Ok(path) => println!("results saved to {}", path.display()),
+        Err(e) => eprintln!("warning: could not save results: {e}"),
+    }
+}

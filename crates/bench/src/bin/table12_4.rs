@@ -1,0 +1,82 @@
+//! Regenerates **Table 12.4**: empirical gap distributions for `b-Batch`
+//! (at `m = 1000·n`) against `One-Choice` with `m = b` balls.
+//!
+//! Paper setup: b ∈ {10, 10², 10³, 10⁴, 10⁵}, n = 10⁴, 100 runs.
+
+use balloc_bench::{print_header, save_json, CommonArgs};
+use balloc_noise::Batched;
+use balloc_processes::OneChoice;
+use balloc_sim::{repeat, GapDistribution, RunConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table12_4 {
+    scale: String,
+    batch_sizes: Vec<u64>,
+    batched: Vec<GapDistribution>,
+    one_choice: Vec<GapDistribution>,
+}
+
+fn main() {
+    let args = CommonArgs::parse(
+        "table12_4: gap distributions of b-Batch vs One-Choice with m = b balls (paper Table 12.4)",
+    );
+    print_header("T12.4", "batching gap distributions", &args);
+
+    let m = args.m();
+    let batch_sizes: Vec<u64> = [10u64, 100, 1_000, 10_000, 100_000]
+        .into_iter()
+        .filter(|&b| b <= m)
+        .collect();
+
+    let mut batched_dists = Vec::new();
+    let mut one_dists = Vec::new();
+    for (j, &b) in batch_sizes.iter().enumerate() {
+        let base = RunConfig::new(args.n, m, args.seed.wrapping_add(j as u64));
+        let results = repeat(|| Batched::new(b), base, args.runs, args.threads);
+        batched_dists.push(GapDistribution::from_results(&results));
+
+        let oc_base = RunConfig::new(args.n, b, args.seed.wrapping_add(900 + j as u64));
+        let oc = repeat(OneChoice::new, oc_base, args.runs, args.threads);
+        one_dists.push(GapDistribution::from_results(&oc));
+    }
+
+    println!("b-Batch (m = {}n):", args.balls_per_bin);
+    for i in 0..batch_sizes.len() {
+        println!(
+            "  b = {:>7} | {}",
+            batch_sizes[i],
+            batched_dists[i].paper_style_inline()
+        );
+    }
+    println!("\nOne-Choice (m = b):");
+    for i in 0..batch_sizes.len() {
+        println!(
+            "  b = {:>7} | {}",
+            batch_sizes[i],
+            one_dists[i].paper_style_inline()
+        );
+    }
+    println!();
+
+    println!("mean gaps:");
+    for i in 0..batch_sizes.len() {
+        println!(
+            "  b = {:>7}: b-Batch {:.2} vs One-Choice(b) {:.2}",
+            batch_sizes[i],
+            batched_dists[i].mean(),
+            one_dists[i].mean()
+        );
+    }
+
+    let artifact = Table12_4 {
+        scale: args.scale_line(),
+        batch_sizes,
+        batched: batched_dists,
+        one_choice: one_dists,
+    };
+    match save_json("table12_4", &artifact) {
+        Ok(path) => println!("\nresults saved to {}", path.display()),
+        Err(e) => eprintln!("\nwarning: could not save results: {e}"),
+    }
+}

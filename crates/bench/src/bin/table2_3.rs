@@ -1,0 +1,146 @@
+//! Regenerates **Table 2.3** (the bounds overview): every lower/upper
+//! bound formula of the paper evaluated at a concrete `n`, with a measured
+//! spot-check per row.
+//!
+//! The measured column runs the corresponding process at the configured
+//! scale; the comparison is qualitative (measured gaps should sit between
+//! the lower-bound term and a constant multiple of the upper-bound term).
+
+use balloc_analysis::bounds::table_2_3;
+use balloc_bench::{fmt3, print_header, save_json, CommonArgs};
+use balloc_core::Process;
+use balloc_noise::{Batched, Delayed, DelayStrategy, GBounded, GMyopic, SigmaNoisyLoad};
+use balloc_sim::{gaps, repeat, RunConfig};
+use balloc_core::stats::Summary;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct MeasuredRow {
+    setting: String,
+    range: String,
+    lower_term: Option<f64>,
+    upper_term: Option<f64>,
+    reference: String,
+    measured_mean_gap: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct Table2_3 {
+    scale: String,
+    g: u64,
+    b: u64,
+    sigma: f64,
+    rows: Vec<MeasuredRow>,
+}
+
+fn measure(
+    process: impl Fn() -> Box<dyn Process + Send> + Sync,
+    base: RunConfig,
+    runs: usize,
+    threads: usize,
+) -> f64 {
+    let results = repeat(process, base, runs, threads);
+    Summary::from_values(&gaps(&results)).mean()
+}
+
+fn main() {
+    let args = CommonArgs::parse(
+        "table2_3: the paper's bounds-overview table evaluated at concrete n, with measured spot-checks",
+    );
+    print_header("T2.3", "bounds overview (evaluated + measured)", &args);
+
+    let g = 8u64;
+    let b = args.n as u64;
+    let sigma = 4.0;
+    let rows_theory = table_2_3(args.n as u64, g, b, sigma);
+    let base = RunConfig::new(args.n, args.m(), args.seed);
+    let runs = args.runs.min(20); // spot-checks, not full experiments
+    let threads = args.threads;
+
+    // One measured value per distinct setting.
+    let measured_bounded = measure(
+        || Box::new(GBounded::new(g)),
+        base,
+        runs,
+        threads,
+    );
+    let measured_myopic = measure(
+        || Box::new(GMyopic::new(g)),
+        base.with_seed(args.seed + 1),
+        runs,
+        threads,
+    );
+    let measured_batch = measure(
+        || Box::new(Batched::new(b)),
+        base.with_seed(args.seed + 2),
+        runs,
+        threads,
+    );
+    let measured_delay = measure(
+        || Box::new(Delayed::new(b, DelayStrategy::AdversarialFlip)),
+        base.with_seed(args.seed + 3),
+        runs,
+        threads,
+    );
+    let measured_noisy = measure(
+        || Box::new(SigmaNoisyLoad::new(sigma)),
+        base.with_seed(args.seed + 4),
+        runs,
+        threads,
+    );
+
+    let measured_for = |setting: &str| -> Option<f64> {
+        match setting {
+            "g-Bounded" => Some(measured_bounded),
+            "g-Adv-Comp" => Some(measured_bounded), // strongest implemented instance
+            "g-Myopic-Comp" => Some(measured_myopic),
+            "b-Batch" => Some(measured_batch),
+            "tau-Delay" => Some(measured_delay),
+            "sigma-Noisy-Load" => Some(measured_noisy),
+            _ => None,
+        }
+    };
+
+    println!(
+        "{:<18} {:<34} {:>12} {:>12} {:>10}  reference",
+        "setting", "range", "lower term", "upper term", "measured"
+    );
+    println!("{}", "-".repeat(110));
+    let mut rows = Vec::new();
+    for row in &rows_theory {
+        let measured = measured_for(&row.setting);
+        println!(
+            "{:<18} {:<34} {:>12} {:>12} {:>10}  {}",
+            row.setting,
+            row.range,
+            row.lower.map(fmt3).unwrap_or_else(|| "-".into()),
+            row.upper.map(fmt3).unwrap_or_else(|| "-".into()),
+            measured.map(fmt3).unwrap_or_else(|| "-".into()),
+            row.reference,
+        );
+        rows.push(MeasuredRow {
+            setting: row.setting.clone(),
+            range: row.range.clone(),
+            lower_term: row.lower,
+            upper_term: row.upper,
+            reference: row.reference.clone(),
+            measured_mean_gap: measured,
+        });
+    }
+
+    println!(
+        "\nnote: terms are growth laws without constants; 'measured' is the mean gap over {runs} runs."
+    );
+
+    let artifact = Table2_3 {
+        scale: args.scale_line(),
+        g,
+        b,
+        sigma,
+        rows,
+    };
+    match save_json("table2_3", &artifact) {
+        Ok(path) => println!("results saved to {}", path.display()),
+        Err(e) => eprintln!("warning: could not save results: {e}"),
+    }
+}

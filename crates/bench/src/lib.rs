@@ -1,0 +1,241 @@
+//! Shared infrastructure for the benchmark harness binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md's experiment index). They share:
+//!
+//! * [`CommonArgs`] — a tiny `--flag value` parser (no external CLI crate)
+//!   with the reduced *default* scale and the paper's `--full` scale;
+//! * [`save_json`] — persisting machine-readable results under
+//!   `target/experiments/` for EXPERIMENTS.md;
+//! * small formatting helpers.
+//!
+//! Run any binary with `--help` for its options, e.g.:
+//!
+//! ```text
+//! cargo run --release -p balloc-bench --bin fig12_1 -- --runs 50 --n 50000
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Command-line options shared by all experiment binaries.
+///
+/// Defaults are the *reduced* scale documented in DESIGN.md (`n = 10⁴`,
+/// `m = 200·n`, 25 runs); `--full` switches to the paper's Section 12
+/// parameters (`m = 1000·n`, 100 runs — expect hours of CPU time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommonArgs {
+    /// Number of bins.
+    pub n: usize,
+    /// Balls per bin (`m = balls_per_bin · n`).
+    pub balls_per_bin: u64,
+    /// Repetitions per configuration.
+    pub runs: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Paper-scale mode.
+    pub full: bool,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        Self {
+            n: 10_000,
+            balls_per_bin: 200,
+            runs: 25,
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4),
+            seed: 2022,
+            full: false,
+        }
+    }
+}
+
+impl CommonArgs {
+    /// Parses `std::env::args`, exiting with a usage message on `--help`
+    /// or malformed input.
+    ///
+    /// Recognized flags: `--n`, `--balls-per-bin`, `--runs`, `--threads`,
+    /// `--seed`, `--full`, `--help`.
+    #[must_use]
+    pub fn parse(description: &str) -> Self {
+        Self::parse_from(description, std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown flags or unparsable values.
+    #[must_use]
+    pub fn parse_from<I: Iterator<Item = String>>(description: &str, mut args: I) -> Self {
+        let mut out = Self::default();
+        while let Some(flag) = args.next() {
+            match flag.as_str() {
+                "--help" | "-h" => {
+                    println!(
+                        "{description}\n\n\
+                         Options:\n  \
+                         --n <bins>             number of bins (default {})\n  \
+                         --balls-per-bin <k>    m = k*n (default {})\n  \
+                         --runs <r>             repetitions (default {})\n  \
+                         --threads <t>          worker threads (default: all cores)\n  \
+                         --seed <s>             master seed (default {})\n  \
+                         --full                 paper-scale parameters (m = 1000n, 100 runs)",
+                        out.n, out.balls_per_bin, out.runs, out.seed
+                    );
+                    std::process::exit(0);
+                }
+                "--full" => {
+                    out.full = true;
+                    out.balls_per_bin = 1_000;
+                    out.runs = 100;
+                }
+                "--n" => out.n = parse_value(&flag, args.next()),
+                "--balls-per-bin" => out.balls_per_bin = parse_value(&flag, args.next()),
+                "--runs" => out.runs = parse_value(&flag, args.next()),
+                "--threads" => out.threads = parse_value(&flag, args.next()),
+                "--seed" => out.seed = parse_value(&flag, args.next()),
+                other => panic!("unknown flag `{other}` (try --help)"),
+            }
+        }
+        assert!(out.n > 0, "--n must be positive");
+        assert!(out.runs > 0, "--runs must be positive");
+        assert!(out.threads > 0, "--threads must be positive");
+        out
+    }
+
+    /// Total balls `m = balls_per_bin · n`.
+    #[must_use]
+    pub fn m(&self) -> u64 {
+        self.balls_per_bin * self.n as u64
+    }
+
+    /// One-line description of the scale, for report headers.
+    #[must_use]
+    pub fn scale_line(&self) -> String {
+        format!(
+            "n = {}, m = {}·n = {}, runs = {}, threads = {}, seed = {}{}",
+            self.n,
+            self.balls_per_bin,
+            self.m(),
+            self.runs,
+            self.threads,
+            self.seed,
+            if self.full { " (paper scale)" } else { "" }
+        )
+    }
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    let raw = value.unwrap_or_else(|| panic!("flag {flag} needs a value"));
+    raw.parse()
+        .unwrap_or_else(|e| panic!("invalid value for {flag}: {e}"))
+}
+
+/// Persists an experiment artifact as JSON under `target/experiments/`,
+/// returning the path.
+///
+/// # Errors
+///
+/// Returns any filesystem or serialization error.
+pub fn save_json<T: Serialize>(experiment_id: &str, value: &T) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("target/experiments");
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{experiment_id}.json"));
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Formats a float with three decimals for tables.
+#[must_use]
+pub fn fmt3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Prints a standard experiment header.
+pub fn print_header(id: &str, title: &str, args: &CommonArgs) {
+    println!("== {id}: {title} ==");
+    println!("{}", args.scale_line());
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> CommonArgs {
+        CommonArgs::parse_from("test", v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_reduced_scale() {
+        let a = args(&[]);
+        assert_eq!(a.n, 10_000);
+        assert_eq!(a.balls_per_bin, 200);
+        assert_eq!(a.runs, 25);
+        assert!(!a.full);
+        assert_eq!(a.m(), 2_000_000);
+    }
+
+    #[test]
+    fn full_flag_switches_to_paper_scale() {
+        let a = args(&["--full"]);
+        assert!(a.full);
+        assert_eq!(a.balls_per_bin, 1_000);
+        assert_eq!(a.runs, 100);
+    }
+
+    #[test]
+    fn explicit_flags_override() {
+        let a = args(&["--n", "500", "--runs", "7", "--seed", "99", "--threads", "2"]);
+        assert_eq!(a.n, 500);
+        assert_eq!(a.runs, 7);
+        assert_eq!(a.seed, 99);
+        assert_eq!(a.threads, 2);
+    }
+
+    #[test]
+    fn full_then_override_runs() {
+        let a = args(&["--full", "--runs", "10"]);
+        assert!(a.full);
+        assert_eq!(a.runs, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = args(&["--bogus"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a value")]
+    fn missing_value_panics() {
+        let _ = args(&["--n"]);
+    }
+
+    #[test]
+    fn scale_line_mentions_everything() {
+        let line = args(&["--n", "123"]).scale_line();
+        assert!(line.contains("n = 123"));
+        assert!(line.contains("runs"));
+    }
+
+    #[test]
+    fn fmt3_rounds() {
+        assert_eq!(fmt3(1.23456), "1.235");
+    }
+}

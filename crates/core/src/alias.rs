@@ -1,0 +1,196 @@
+//! O(1) sampling from arbitrary discrete distributions (Walker/Vose alias
+//! method).
+//!
+//! Used by the non-uniform sampling setting of Wieder (discussed in the
+//! paper's related work): `d-Choice` keeps its gap guarantees as long as
+//! bins are sampled from a distribution close enough to uniform. The alias
+//! table makes such biased sampling as cheap as uniform sampling, so the
+//! biased processes run at full speed.
+
+use crate::rng::Rng;
+
+/// A preprocessed discrete distribution supporting O(1) sampling.
+///
+/// # Examples
+///
+/// ```
+/// use balloc_core::{AliasTable, Rng};
+///
+/// let table = AliasTable::new(&[0.5, 0.25, 0.25]);
+/// let mut rng = Rng::from_seed(1);
+/// let mut counts = [0u32; 3];
+/// for _ in 0..10_000 {
+///     counts[table.sample(&mut rng)] += 1;
+/// }
+/// assert!(counts[0] > counts[1]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTable {
+    /// Acceptance probability per column (scaled to u64 range for a
+    /// float-free fast path would be possible; floats keep it simple and
+    /// exact enough).
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights (not necessarily
+    /// normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// entry, or sums to zero.
+    #[must_use]
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            // Column s keeps prob[s]; the remainder aliases to l.
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical leftovers: everything remaining fills its own column.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of outcomes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome in O(1).
+    #[inline]
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let column = rng.below_usize(self.prob.len());
+        if rng.next_f64() < self.prob[column] {
+            column
+        } else {
+            self.alias[column]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_weights_rejected() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_weights_rejected() {
+        let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "all be zero")]
+    fn zero_weights_rejected() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let table = AliasTable::new(&[1.0; 8]);
+        let mut rng = Rng::from_seed(3);
+        let mut counts = [0u32; 8];
+        let trials = 80_000;
+        for _ in 0..trials {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let p = f64::from(c) / trials as f64;
+            assert!((p - 0.125).abs() < 0.01, "count off: {p}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_expected_frequencies() {
+        let weights = [4.0, 2.0, 1.0, 1.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = Rng::from_seed(4);
+        let trials = 200_000;
+        let mut counts = [0u32; 4];
+        for _ in 0..trials {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / total;
+            let observed = f64::from(counts[i]) / trials as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "outcome {i}: observed {observed} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_sampled() {
+        let table = AliasTable::new(&[1.0, 0.0, 1.0]);
+        let mut rng = Rng::from_seed(5);
+        for _ in 0..20_000 {
+            assert_ne!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn single_outcome_always_sampled() {
+        let table = AliasTable::new(&[7.0]);
+        let mut rng = Rng::from_seed(6);
+        assert_eq!(table.len(), 1);
+        assert!(!table.is_empty());
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn unnormalized_weights_are_normalized() {
+        let a = AliasTable::new(&[1.0, 3.0]);
+        let b = AliasTable::new(&[100.0, 300.0]);
+        let mut rng_a = Rng::from_seed(7);
+        let mut rng_b = Rng::from_seed(7);
+        for _ in 0..1000 {
+            assert_eq!(a.sample(&mut rng_a), b.sample(&mut rng_b));
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Probability allocation vectors and majorization.
+//!
+//! Following Peres, Talwar and Wieder (and Section 3 of the paper), many
+//! allocation processes are described by a *probability allocation vector*
+//! `r^t = (r_1, …, r_n)`, where `r_i` is the probability of incrementing the
+//! load of the `i`-th **most loaded** bin. `Two-Choice` without noise has the
+//! time-independent vector `p_i = (2i−1)/n²`; noisy processes move
+//! probability mass between ranks (Fig. 4.1).
+//!
+//! This module provides the closed-form vectors for the standard processes,
+//! exact computation of the vector realized by any
+//! [`DecisionProbability`] decider, and the
+//! majorization partial order used in the paper's lower bounds
+//! (Lemma A.13).
+
+use crate::load::LoadState;
+use crate::process::DecisionProbability;
+
+/// Numerical tolerance for probability-vector checks.
+const EPS: f64 = 1e-9;
+
+/// The `One-Choice` allocation vector: uniform `1/n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use balloc_core::probability::one_choice_vector;
+/// let v = one_choice_vector(4);
+/// assert!(v.iter().all(|&p| (p - 0.25).abs() < 1e-12));
+/// ```
+#[must_use]
+pub fn one_choice_vector(n: usize) -> Vec<f64> {
+    assert!(n > 0, "n must be positive");
+    vec![1.0 / n as f64; n]
+}
+
+/// The `Two-Choice` allocation vector `p_i = (2i − 1)/n²` (1-indexed ranks,
+/// most loaded first).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use balloc_core::probability::two_choice_vector;
+/// let p = two_choice_vector(3);
+/// assert!((p[0] - 1.0 / 9.0).abs() < 1e-12);
+/// assert!((p[2] - 5.0 / 9.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn two_choice_vector(n: usize) -> Vec<f64> {
+    assert!(n > 0, "n must be positive");
+    let n2 = (n as f64) * (n as f64);
+    (1..=n).map(|i| (2 * i - 1) as f64 / n2).collect()
+}
+
+/// The `d-Choice` allocation vector `p_i = (i^d − (i−1)^d)/n^d`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `d == 0`.
+#[must_use]
+pub fn d_choice_vector(n: usize, d: u32) -> Vec<f64> {
+    assert!(n > 0, "n must be positive");
+    assert!(d > 0, "d must be positive");
+    let nf = n as f64;
+    (1..=n)
+        .map(|i| {
+            let i = i as f64;
+            ((i / nf).powi(d as i32)) - (((i - 1.0) / nf).powi(d as i32))
+        })
+        .collect()
+}
+
+/// The `(1+β)` allocation vector: `(1−β)/n + β·p_i` where `p` is the
+/// `Two-Choice` vector.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `β ∉ \[0, 1\]`.
+#[must_use]
+pub fn one_plus_beta_vector(n: usize, beta: f64) -> Vec<f64> {
+    assert!(n > 0, "n must be positive");
+    assert!((0.0..=1.0).contains(&beta), "beta must lie in [0, 1]");
+    let uniform = 1.0 / n as f64;
+    two_choice_vector(n)
+        .into_iter()
+        .map(|p| (1.0 - beta) * uniform + beta * p)
+        .collect()
+}
+
+/// Returns `true` if `v` is a probability vector (non-negative entries
+/// summing to 1, up to numerical tolerance).
+#[must_use]
+pub fn is_probability_vector(v: &[f64]) -> bool {
+    if v.is_empty() {
+        return false;
+    }
+    let sum: f64 = v.iter().sum();
+    v.iter().all(|&p| p >= -EPS) && (sum - 1.0).abs() < 1e-6
+}
+
+/// Returns `true` if `q` majorizes `r`: every prefix sum of `q` is at least
+/// the corresponding prefix sum of `r` (Section 3).
+///
+/// The vectors must have the same length. In the paper's lower-bound
+/// arguments (Observation 11.1, Lemma A.13), if the allocation vector of
+/// process `P` majorizes that of process `Q` at every step, the sorted load
+/// vector of `P` stochastically majorizes that of `Q`.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use balloc_core::probability::{majorizes, one_choice_vector, two_choice_vector};
+/// // One-Choice majorizes Two-Choice: it puts more probability on the
+/// // heaviest ranks.
+/// let one = one_choice_vector(8);
+/// let two = two_choice_vector(8);
+/// assert!(majorizes(&one, &two));
+/// assert!(!majorizes(&two, &one));
+/// ```
+#[must_use]
+pub fn majorizes(q: &[f64], r: &[f64]) -> bool {
+    assert_eq!(q.len(), r.len(), "vectors must have equal length");
+    let mut sq = 0.0;
+    let mut sr = 0.0;
+    for (a, b) in q.iter().zip(r.iter()) {
+        sq += a;
+        sr += b;
+        if sq + EPS < sr {
+            return false;
+        }
+    }
+    true
+}
+
+/// Computes the exact per-bin allocation probabilities of a two-sample
+/// process with decision rule `decider` on the given state.
+///
+/// Iterates over all `n²` ordered sample pairs, so it costs `O(n²)` calls to
+/// [`DecisionProbability::prob_first`]; intended for analysis and tests, not
+/// for the simulation hot loop.
+///
+/// The result is indexed by **bin**, not by rank; use
+/// [`by_rank`] to convert.
+///
+/// # Examples
+///
+/// ```
+/// use balloc_core::probability::{bin_probabilities, by_rank, two_choice_vector};
+/// use balloc_core::{LoadState, PerfectDecider, TieBreak};
+///
+/// let state = LoadState::from_loads(vec![3, 1, 0]); // distinct loads
+/// let d = PerfectDecider::new(TieBreak::Random);
+/// let probs = bin_probabilities(&d, &state);
+/// let ranked = by_rank(&probs, &state);
+/// let expected = two_choice_vector(3);
+/// for (a, b) in ranked.iter().zip(expected.iter()) {
+///     assert!((a - b).abs() < 1e-9);
+/// }
+/// ```
+#[must_use]
+pub fn bin_probabilities<D: DecisionProbability>(decider: &D, state: &LoadState) -> Vec<f64> {
+    let n = state.n();
+    let pair_weight = 1.0 / (n as f64 * n as f64);
+    let mut probs = vec![0.0; n];
+    for i1 in 0..n {
+        for i2 in 0..n {
+            let p1 = decider.prob_first(state, i1, i2);
+            probs[i1] += pair_weight * p1;
+            probs[i2] += pair_weight * (1.0 - p1);
+        }
+    }
+    probs
+}
+
+/// Reorders per-bin probabilities into rank order (most loaded bin first,
+/// ties by bin index), for comparison against the closed-form vectors.
+///
+/// # Panics
+///
+/// Panics if `probs.len() != state.n()`.
+#[must_use]
+pub fn by_rank(probs: &[f64], state: &LoadState) -> Vec<f64> {
+    assert_eq!(probs.len(), state.n(), "probability vector length mismatch");
+    state.ranks_desc().iter().map(|&i| probs[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{PerfectDecider, TieBreak};
+    use crate::rng::Rng;
+
+    #[test]
+    fn closed_form_vectors_are_probability_vectors() {
+        for n in [1usize, 2, 3, 10, 100] {
+            assert!(is_probability_vector(&one_choice_vector(n)));
+            assert!(is_probability_vector(&two_choice_vector(n)));
+            assert!(is_probability_vector(&d_choice_vector(n, 3)));
+            assert!(is_probability_vector(&one_plus_beta_vector(n, 0.4)));
+        }
+    }
+
+    #[test]
+    fn empty_vector_is_not_probability_vector() {
+        assert!(!is_probability_vector(&[]));
+        assert!(!is_probability_vector(&[0.5, 0.4])); // sums to 0.9
+        assert!(!is_probability_vector(&[1.5, -0.5])); // negative entry
+    }
+
+    #[test]
+    fn two_choice_vector_is_increasing_in_rank() {
+        let p = two_choice_vector(16);
+        for w in p.windows(2) {
+            assert!(w[0] < w[1], "lighter ranks must get more probability");
+        }
+    }
+
+    #[test]
+    fn d_choice_reduces_to_known_cases() {
+        let n = 12;
+        let one = d_choice_vector(n, 1);
+        for (a, b) in one.iter().zip(one_choice_vector(n)) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        let two = d_choice_vector(n, 2);
+        for (a, b) in two.iter().zip(two_choice_vector(n)) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn one_plus_beta_interpolates() {
+        let n = 9;
+        let at_zero = one_plus_beta_vector(n, 0.0);
+        for (a, b) in at_zero.iter().zip(one_choice_vector(n)) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        let at_one = one_plus_beta_vector(n, 1.0);
+        for (a, b) in at_one.iter().zip(two_choice_vector(n)) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn one_plus_beta_validates_beta() {
+        let _ = one_plus_beta_vector(4, 1.5);
+    }
+
+    #[test]
+    fn majorization_chain_one_beta_two() {
+        // One-Choice ⪰ (1+β) ⪰ Two-Choice in the majorization order.
+        let n = 32;
+        let one = one_choice_vector(n);
+        let mid = one_plus_beta_vector(n, 0.5);
+        let two = two_choice_vector(n);
+        assert!(majorizes(&one, &mid));
+        assert!(majorizes(&mid, &two));
+        assert!(majorizes(&one, &two));
+        assert!(!majorizes(&two, &mid));
+    }
+
+    #[test]
+    fn majorizes_is_reflexive() {
+        let p = two_choice_vector(10);
+        assert!(majorizes(&p, &p));
+    }
+
+    #[test]
+    fn exact_probabilities_match_closed_form_on_distinct_loads() {
+        // Distinct loads, random tie-break (ties can't occur): the rank
+        // probabilities must equal p_i = (2i−1)/n² exactly.
+        let loads: Vec<u64> = (0..20u64).map(|i| 100 - 3 * i).collect();
+        let state = LoadState::from_loads(loads);
+        let d = PerfectDecider::new(TieBreak::Random);
+        let probs = bin_probabilities(&d, &state);
+        assert!(is_probability_vector(&probs));
+        let ranked = by_rank(&probs, &state);
+        for (a, b) in ranked.iter().zip(two_choice_vector(20)) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn exact_probabilities_with_ties_still_sum_to_one() {
+        let state = LoadState::from_loads(vec![2, 2, 2, 5, 0]);
+        let d = PerfectDecider::new(TieBreak::Random);
+        let probs = bin_probabilities(&d, &state);
+        assert!(is_probability_vector(&probs));
+        // The three tied bins must receive equal probability by symmetry.
+        assert!((probs[0] - probs[1]).abs() < 1e-12);
+        assert!((probs[1] - probs[2]).abs() < 1e-12);
+        // The heaviest bin gets the least, the lightest the most.
+        assert!(probs[3] < probs[0]);
+        assert!(probs[4] > probs[0]);
+    }
+
+    #[test]
+    fn exact_probabilities_agree_with_monte_carlo() {
+        use crate::process::{Decider, Process, TwoChoice};
+        let state = LoadState::from_loads(vec![4, 2, 2, 0]);
+        let d = PerfectDecider::new(TieBreak::Random);
+        let exact = bin_probabilities(&d, &state);
+
+        // Monte-Carlo estimate of the same distribution.
+        let mut rng = Rng::from_seed(5);
+        let mut counts = vec![0u64; 4];
+        let trials = 200_000;
+        let mut dec = PerfectDecider::new(TieBreak::Random);
+        for _ in 0..trials {
+            let i1 = rng.below_usize(4);
+            let i2 = rng.below_usize(4);
+            let c = dec.decide(&state, i1, i2, &mut rng);
+            counts[c] += 1;
+        }
+        for (bin, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / trials as f64;
+            assert!(
+                (emp - exact[bin]).abs() < 0.01,
+                "bin {bin}: empirical {emp} vs exact {}",
+                exact[bin]
+            );
+        }
+        // Silence unused-import lint paths for TwoChoice/Process in this test module.
+        let _ = TwoChoice::classic().allocate(&mut LoadState::new(2), &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn by_rank_validates_length() {
+        let state = LoadState::new(3);
+        let _ = by_rank(&[0.5, 0.5], &state);
+    }
+}

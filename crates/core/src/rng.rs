@@ -1,0 +1,493 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Simulation results in this workspace must be a pure function of
+//! `(configuration, seed)` so that every experiment is reproducible across
+//! machines, thread counts, and library versions. To guarantee that, this
+//! module ships a self-contained implementation of the
+//! [xoshiro256++](https://prng.di.unimi.it/) generator seeded through
+//! SplitMix64, plus the small set of derived samplers the allocation
+//! processes need:
+//!
+//! * unbiased bounded integers via Lemire's multiply–shift rejection method,
+//! * uniform `f64` in `[0, 1)` with 53 bits of precision,
+//! * standard Gaussians via the Marsaglia polar method (used by the
+//!   `σ-Noisy-Load` process of the paper),
+//! * Bernoulli trials.
+//!
+//! # Examples
+//!
+//! ```
+//! use balloc_core::Rng;
+//!
+//! let mut rng = Rng::from_seed(42);
+//! let bin = rng.below(10);
+//! assert!(bin < 10);
+//!
+//! // Two generators with the same seed produce the same stream.
+//! let mut a = Rng::from_seed(7);
+//! let mut b = Rng::from_seed(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! ```
+
+/// SplitMix64: a tiny, fast generator used to expand a 64-bit seed into the
+/// 256-bit state required by [`Rng`], and to derive independent child seeds.
+///
+/// # Examples
+///
+/// ```
+/// use balloc_core::rng::SplitMix64;
+///
+/// let mut sm = SplitMix64::new(1);
+/// let first = sm.next_u64();
+/// let second = sm.next_u64();
+/// assert_ne!(first, second);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed. Every seed is valid.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A deterministic pseudo-random number generator (xoshiro256++).
+///
+/// All allocation processes in this workspace draw randomness exclusively
+/// from this type, which makes a whole simulation run reproducible from a
+/// single `u64` seed.
+///
+/// This is **not** a cryptographic generator; it is a fast, statistically
+/// strong generator appropriate for Monte-Carlo simulation.
+///
+/// # Examples
+///
+/// ```
+/// use balloc_core::Rng;
+///
+/// let mut rng = Rng::from_seed(0xBA11);
+/// let coin = rng.chance(0.5);
+/// let noise = rng.gaussian(0.0, 2.0);
+/// assert!(noise.is_finite());
+/// let _ = coin;
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rng {
+    s: [u64; 4],
+    /// Cached second output of the polar method.
+    gaussian_spare: Option<f64>,
+}
+
+#[inline(always)]
+fn rotl(x: u64, k: u32) -> u64 {
+    x.rotate_left(k)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// The 256-bit internal state is derived by running SplitMix64 four
+    /// times, as recommended by the xoshiro authors. Every seed (including
+    /// zero) yields a valid, non-degenerate state.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use balloc_core::Rng;
+    /// let mut rng = Rng::from_seed(123);
+    /// assert!(rng.next_f64() < 1.0);
+    /// ```
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        Self {
+            s,
+            gaussian_spare: None,
+        }
+    }
+
+    /// Creates a generator from raw xoshiro256++ state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is all zero (the only degenerate state of the
+    /// generator).
+    #[must_use]
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro256++ state must not be all zero"
+        );
+        Self {
+            s,
+            gaussian_spare: None,
+        }
+    }
+
+    /// Returns the next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = rotl(s[0].wrapping_add(s[3]), 23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        result
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // Take the top 53 bits; multiply by 2^-53.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform integer in `[0, bound)` without modulo bias
+    /// (Lemire's method).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use balloc_core::Rng;
+    /// let mut rng = Rng::from_seed(9);
+    /// for _ in 0..100 {
+    ///     assert!(rng.below(7) < 7);
+    /// }
+    /// ```
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniform `usize` in `[0, bound)`.
+    ///
+    /// This is the sampler used for picking bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn below_usize(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Returns `true` with probability `p` (clamped to `\[0, 1\]`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use balloc_core::Rng;
+    /// let mut rng = Rng::from_seed(1);
+    /// assert!(!rng.chance(0.0));
+    /// assert!(rng.chance(1.0));
+    /// ```
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.next_f64() < p
+    }
+
+    /// Returns a fair coin flip.
+    #[inline]
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Returns a standard Gaussian (mean 0, variance 1) via the Marsaglia
+    /// polar method.
+    #[inline]
+    pub fn standard_gaussian(&mut self) -> f64 {
+        if let Some(z) = self.gaussian_spare.take() {
+            return z;
+        }
+        loop {
+            let u = 2.0 * self.next_f64() - 1.0;
+            let v = 2.0 * self.next_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let f = (-2.0 * s.ln() / s).sqrt();
+                self.gaussian_spare = Some(v * f);
+                return u * f;
+            }
+        }
+    }
+
+    /// Returns a Gaussian with the given mean and standard deviation.
+    ///
+    /// Used by the `σ-Noisy-Load` process, where each sampled bin reports
+    /// its load perturbed by `N(0, σ²)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or not finite.
+    #[inline]
+    pub fn gaussian(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(
+            std_dev >= 0.0 && std_dev.is_finite(),
+            "standard deviation must be finite and non-negative"
+        );
+        mean + std_dev * self.standard_gaussian()
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// The child stream is seeded from the parent's output stream through
+    /// SplitMix64, the standard technique for spawning per-run generators
+    /// from a master seed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use balloc_core::Rng;
+    /// let mut master = Rng::from_seed(5);
+    /// let mut child_a = master.fork();
+    /// let mut child_b = master.fork();
+    /// assert_ne!(child_a.next_u64(), child_b.next_u64());
+    /// ```
+    #[must_use]
+    pub fn fork(&mut self) -> Self {
+        Self::from_seed(self.next_u64())
+    }
+}
+
+/// Derives the seed for the `index`-th run of an experiment from a master
+/// seed.
+///
+/// All repetition machinery in the workspace uses this function, so a
+/// sequential and a parallel runner produce identical per-run seeds.
+///
+/// # Examples
+///
+/// ```
+/// use balloc_core::rng::run_seed;
+/// assert_eq!(run_seed(99, 3), run_seed(99, 3));
+/// assert_ne!(run_seed(99, 3), run_seed(99, 4));
+/// ```
+#[must_use]
+pub fn run_seed(master_seed: u64, index: u64) -> u64 {
+    let mut sm = SplitMix64::new(master_seed ^ 0xA076_1D64_78BD_642F);
+    let a = sm.next_u64();
+    let mut sm2 = SplitMix64::new(a.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+    sm2.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Reference values for SplitMix64 with seed 1234567, from the
+        // public-domain reference implementation by Sebastiano Vigna.
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+        assert_eq!(sm.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng::from_seed(2024);
+        let mut b = Rng::from_seed(2024);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::from_seed(1);
+        let mut b = Rng::from_seed(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "all zero")]
+    fn zero_state_rejected() {
+        let _ = Rng::from_state([0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn below_zero_bound_panics() {
+        let mut rng = Rng::from_seed(0);
+        let _ = rng.below(0);
+    }
+
+    #[test]
+    fn below_is_in_range_for_awkward_bounds() {
+        let mut rng = Rng::from_seed(77);
+        for bound in [1u64, 2, 3, 5, 7, 10, 1000, u64::MAX / 2 + 1] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn below_one_is_always_zero() {
+        let mut rng = Rng::from_seed(3);
+        for _ in 0..100 {
+            assert_eq!(rng.below(1), 0);
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::from_seed(88);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniformity_chi_square_below() {
+        // 10 buckets, 100k samples. Chi-square with 9 dof: reject above ~27.9
+        // at the 0.1% level; a correct generator fails with negligible
+        // probability for this fixed seed.
+        let mut rng = Rng::from_seed(12345);
+        let buckets = 10usize;
+        let samples = 100_000usize;
+        let mut counts = vec![0usize; buckets];
+        for _ in 0..samples {
+            counts[rng.below_usize(buckets)] += 1;
+        }
+        let expected = samples as f64 / buckets as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        assert!(chi2 < 27.9, "chi-square too large: {chi2}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = Rng::from_seed(5150);
+        let samples = 200_000usize;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..samples {
+            let z = rng.standard_gaussian();
+            sum += z;
+            sum_sq += z * z;
+        }
+        let mean = sum / samples as f64;
+        let var = sum_sq / samples as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean too far from 0: {mean}");
+        assert!((var - 1.0).abs() < 0.02, "variance too far from 1: {var}");
+    }
+
+    #[test]
+    fn gaussian_tail_probability() {
+        // P(Z > 1.0) = 1 - Φ(1) ≈ 0.15866.
+        let mut rng = Rng::from_seed(31337);
+        let samples = 200_000usize;
+        let above = (0..samples)
+            .filter(|_| rng.standard_gaussian() > 1.0)
+            .count();
+        let p = above as f64 / samples as f64;
+        assert!((p - 0.15866).abs() < 0.005, "tail probability off: {p}");
+    }
+
+    #[test]
+    fn gaussian_scaled_moments() {
+        let mut rng = Rng::from_seed(4242);
+        let samples = 100_000usize;
+        let (mut sum, mut sum_sq) = (0.0, 0.0);
+        for _ in 0..samples {
+            let z = rng.gaussian(5.0, 3.0);
+            sum += z;
+            sum_sq += z * z;
+        }
+        let mean = sum / samples as f64;
+        let var = sum_sq / samples as f64 - mean * mean;
+        assert!((mean - 5.0).abs() < 0.05);
+        assert!((var - 9.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Rng::from_seed(6);
+        assert!(!rng.chance(-1.0));
+        assert!(rng.chance(2.0));
+    }
+
+    #[test]
+    fn chance_frequency() {
+        let mut rng = Rng::from_seed(808);
+        let hits = (0..100_000).filter(|_| rng.chance(0.3)).count();
+        let p = hits as f64 / 100_000.0;
+        assert!((p - 0.3).abs() < 0.01, "empirical probability off: {p}");
+    }
+
+    #[test]
+    fn coin_is_roughly_fair() {
+        let mut rng = Rng::from_seed(101);
+        let heads = (0..100_000).filter(|_| rng.coin()).count();
+        assert!((heads as f64 / 100_000.0 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn fork_streams_are_decorrelated() {
+        let mut master = Rng::from_seed(0);
+        let mut a = master.fork();
+        let mut b = master.fork();
+        let matches = (0..1000).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(matches, 0);
+    }
+
+    #[test]
+    fn run_seed_is_stable_and_spread() {
+        let s0 = run_seed(42, 0);
+        let s1 = run_seed(42, 1);
+        assert_ne!(s0, s1);
+        assert_eq!(s0, run_seed(42, 0));
+        // Different master seeds give different run seeds.
+        assert_ne!(run_seed(42, 0), run_seed(43, 0));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the core substrate.
+
+use balloc_core::probability::{
+    bin_probabilities, by_rank, is_probability_vector, majorizes, one_choice_vector,
+    one_plus_beta_vector, two_choice_vector,
+};
+use balloc_core::{LoadState, PerfectDecider, Process, Rng, TieBreak, TwoChoice};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn below_is_always_in_range(seed in any::<u64>(), bound in 1u64..=1_000_000) {
+        let mut rng = Rng::from_seed(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval(seed in any::<u64>()) {
+        let mut rng = Rng::from_seed(seed);
+        for _ in 0..64 {
+            let x = rng.next_f64();
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible(seed in any::<u64>()) {
+        let mut a = Rng::from_seed(seed);
+        let mut b = Rng::from_seed(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn load_state_invariants_hold(
+        n in 1usize..64,
+        picks in proptest::collection::vec(any::<u16>(), 0..256),
+    ) {
+        let mut s = LoadState::new(n);
+        for p in &picks {
+            s.allocate(*p as usize % n);
+        }
+        // Total balls equals number of allocations.
+        prop_assert_eq!(s.balls(), picks.len() as u64);
+        // Aggregates match a full recomputation.
+        prop_assert_eq!(s.max_load(), *s.loads().iter().max().unwrap());
+        prop_assert_eq!(s.min_load(), *s.loads().iter().min().unwrap());
+        // Normalized loads sum to ~0 and the gap is non-negative.
+        let sum: f64 = s.normalized_loads().iter().sum();
+        prop_assert!(sum.abs() < 1e-6);
+        prop_assert!(s.gap() >= -1e-12);
+        prop_assert!(s.min_side_gap() >= -1e-12);
+        // Histogram is consistent.
+        let total: usize = s.load_histogram().values().sum();
+        prop_assert_eq!(total, n);
+    }
+
+    #[test]
+    fn from_loads_agrees_with_incremental(loads in proptest::collection::vec(0u64..32, 1..32)) {
+        let direct = LoadState::from_loads(loads.clone());
+        let mut incremental = LoadState::new(loads.len());
+        for (bin, &count) in loads.iter().enumerate() {
+            for _ in 0..count {
+                incremental.allocate(bin);
+            }
+        }
+        prop_assert_eq!(direct, incremental);
+    }
+
+    #[test]
+    fn closed_form_vectors_well_formed(n in 1usize..200, beta in 0.0f64..=1.0) {
+        prop_assert!(is_probability_vector(&one_choice_vector(n)));
+        prop_assert!(is_probability_vector(&two_choice_vector(n)));
+        prop_assert!(is_probability_vector(&one_plus_beta_vector(n, beta)));
+        // Uniform majorizes every two-choice-style vector.
+        prop_assert!(majorizes(&one_choice_vector(n), &two_choice_vector(n)));
+        prop_assert!(majorizes(&one_choice_vector(n), &one_plus_beta_vector(n, beta)));
+        prop_assert!(majorizes(&one_plus_beta_vector(n, beta), &two_choice_vector(n)));
+    }
+
+    #[test]
+    fn exact_decision_distribution_is_valid(loads in proptest::collection::vec(0u64..16, 2..24)) {
+        let state = LoadState::from_loads(loads);
+        let d = PerfectDecider::new(TieBreak::Random);
+        let probs = bin_probabilities(&d, &state);
+        prop_assert!(is_probability_vector(&probs));
+        // The rank-ordered probabilities are non-decreasing from heaviest to
+        // lightest (the perfect decider favors light bins), allowing for
+        // exact equality within tied groups.
+        let ranked = by_rank(&probs, &state);
+        for w in ranked.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-9);
+        }
+        // Two-Choice (noise-free) is majorized by One-Choice on ranks.
+        prop_assert!(majorizes(&one_choice_vector(state.n()), &ranked));
+    }
+
+    #[test]
+    fn two_choice_runs_allocate_exactly(n in 1usize..64, m in 0u64..512, seed in any::<u64>()) {
+        let mut state = LoadState::new(n);
+        let mut rng = Rng::from_seed(seed);
+        TwoChoice::classic().run(&mut state, m, &mut rng);
+        prop_assert_eq!(state.balls(), m);
+        let total: u64 = state.loads().iter().sum();
+        prop_assert_eq!(total, m);
+    }
+}

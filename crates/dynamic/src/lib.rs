@@ -1,0 +1,48 @@
+//! Dynamic balanced-allocation settings: balls (jobs) that also *leave*.
+//!
+//! The paper's introduction motivates its noise framework with systems
+//! where load information cannot be kept exact — prominently dynamic ones:
+//! settings where balls are removed (\[10, 16, 19\]) and the two-choice
+//! queueing systems with periodically-updated load information of
+//! Mitzenmacher \[39\] and Dahlin \[22\]. This crate provides both substrates
+//! so the noisy allocation rules of `balloc-noise` can be exercised in
+//! their natural dynamic habitat:
+//!
+//! * [`RepeatedBalls`] — the repeated balls-into-bins process: each round,
+//!   one ball is removed from every non-empty bin and re-allocated by a
+//!   (possibly noisy) allocation process;
+//! * [`Supermarket`] — a discrete-time supermarket (join-the-shorter-queue)
+//!   model with Bernoulli arrivals/services and a pluggable
+//!   [`JoinPolicy`], including the *periodic update model* of \[39\] where
+//!   queue lengths are only refreshed every `T` slots.
+//!
+//! # Example: self-stabilization under noise
+//!
+//! ```
+//! use balloc_core::{LoadState, Rng};
+//! use balloc_dynamic::RepeatedBalls;
+//! use balloc_core::TwoChoice;
+//!
+//! // Start from a terrible load vector: one bin hoards 100 balls.
+//! let mut loads = vec![1u64; 100];
+//! loads[0] = 100;
+//! let mut state = LoadState::from_loads(loads);
+//! let mut rng = Rng::from_seed(1);
+//! let mut process = TwoChoice::classic();
+//! let mut repeated = RepeatedBalls::new();
+//! for _ in 0..200 {
+//!     repeated.round(&mut state, &mut process, &mut rng);
+//! }
+//! // Two-choice has spread the tower out.
+//! assert!(state.gap() < 10.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod queueing;
+mod repeated;
+
+pub use queueing::{JoinPolicy, QueueMetrics, Supermarket};
+pub use repeated::RepeatedBalls;

@@ -1,0 +1,175 @@
+//! Repeated balls-into-bins: remove-and-reinsert rounds.
+//!
+//! In the repeated balls-into-bins process (Becchetti et al. \[10\]; see
+//! also the authors' tight-bounds announcement \[36\]), the system holds a
+//! fixed population of balls; in each round one ball is removed from every
+//! non-empty bin and all removed balls are re-allocated. The process is
+//! *self-stabilizing*: with two-choice reinsertion the load vector
+//! converges to a small gap from any starting configuration — the property
+//! the paper's introduction highlights as a key strength of two-choice
+//! that its noise theorems preserve.
+
+use balloc_core::{LoadState, Process, Rng};
+
+/// The repeated balls-into-bins driver: [`round`](Self::round) removes one
+/// ball from every non-empty bin and re-inserts them with a caller-chosen
+/// allocation process (any [`Process`], including every noisy process in
+/// `balloc-noise`).
+///
+/// # Examples
+///
+/// ```
+/// use balloc_core::{LoadState, Rng, TwoChoice};
+/// use balloc_dynamic::RepeatedBalls;
+///
+/// let mut state = LoadState::from_loads(vec![4, 0, 0, 0]);
+/// let mut rng = Rng::from_seed(0);
+/// let mut repeated = RepeatedBalls::new();
+/// let moved = repeated.round(&mut state, &mut TwoChoice::classic(), &mut rng);
+/// assert_eq!(moved, 1); // only one bin was non-empty
+/// assert_eq!(state.balls(), 4); // population conserved
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RepeatedBalls {
+    rounds: u64,
+}
+
+impl RepeatedBalls {
+    /// Creates the driver.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rounds performed so far.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Performs one round: removes a ball from every non-empty bin, then
+    /// re-inserts all removed balls via `process`. Returns the number of
+    /// balls moved.
+    pub fn round<P: Process>(
+        &mut self,
+        state: &mut LoadState,
+        process: &mut P,
+        rng: &mut Rng,
+    ) -> u64 {
+        let n = state.n();
+        let mut removed = 0u64;
+        for i in 0..n {
+            if state.load(i) > 0 {
+                state.deallocate(i);
+                removed += 1;
+            }
+        }
+        process.run(state, removed, rng);
+        self.rounds += 1;
+        removed
+    }
+
+    /// Runs `rounds` rounds, returning the total number of balls moved.
+    pub fn run<P: Process>(
+        &mut self,
+        state: &mut LoadState,
+        process: &mut P,
+        rounds: u64,
+        rng: &mut Rng,
+    ) -> u64 {
+        (0..rounds).map(|_| self.round(state, process, rng)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balloc_core::TwoChoice;
+    use balloc_noise::GBounded;
+    use balloc_processes::OneChoice;
+
+    #[test]
+    fn population_is_conserved() {
+        let mut state = LoadState::from_loads(vec![5, 3, 0, 7]);
+        let mut rng = Rng::from_seed(1);
+        let mut repeated = RepeatedBalls::new();
+        for _ in 0..50 {
+            repeated.round(&mut state, &mut TwoChoice::classic(), &mut rng);
+            assert_eq!(state.balls(), 15);
+        }
+        assert_eq!(repeated.rounds(), 50);
+    }
+
+    #[test]
+    fn removes_one_ball_per_nonempty_bin() {
+        // With a process that always re-allocates to bin 0, the removal
+        // phase is directly observable.
+        let mut state = LoadState::from_loads(vec![2, 1, 0]);
+        let mut rng = Rng::from_seed(2);
+        struct ToZero;
+        impl Process for ToZero {
+            fn allocate(&mut self, state: &mut LoadState, _rng: &mut Rng) -> usize {
+                state.allocate(0);
+                0
+            }
+        }
+        let moved = RepeatedBalls::new().round(&mut state, &mut ToZero, &mut rng);
+        assert_eq!(moved, 2);
+        assert_eq!(state.loads(), &[3, 0, 0]);
+    }
+
+    #[test]
+    fn two_choice_self_stabilizes_from_tower() {
+        let n = 200;
+        let mut loads = vec![1u64; n];
+        loads[0] = 200; // a huge tower
+        let mut state = LoadState::from_loads(loads);
+        let initial_gap = state.gap();
+        let mut rng = Rng::from_seed(3);
+        let mut repeated = RepeatedBalls::new();
+        repeated.run(&mut state, &mut TwoChoice::classic(), 400, &mut rng);
+        assert!(
+            state.gap() < initial_gap / 10.0,
+            "gap should collapse: {} -> {}",
+            initial_gap,
+            state.gap()
+        );
+        assert!(state.gap() < 8.0);
+    }
+
+    #[test]
+    fn noisy_reinsertion_still_stabilizes() {
+        // The paper's point: even with g-bounded noise the equilibrium is
+        // only O(g + log n) worse, and recovery still happens.
+        let n = 200;
+        let mut loads = vec![1u64; n];
+        loads[0] = 150;
+        let mut state = LoadState::from_loads(loads);
+        let mut rng = Rng::from_seed(4);
+        let mut repeated = RepeatedBalls::new();
+        repeated.run(&mut state, &mut GBounded::new(3), 400, &mut rng);
+        assert!(
+            state.gap() < 20.0,
+            "noisy repeated process should still stabilize: {}",
+            state.gap()
+        );
+    }
+
+    #[test]
+    fn one_choice_reinsertion_keeps_larger_gap() {
+        let n = 256;
+        let mut two = LoadState::from_loads(vec![8u64; n]);
+        let mut one = LoadState::from_loads(vec![8u64; n]);
+        let mut rng_a = Rng::from_seed(5);
+        let mut rng_b = Rng::from_seed(5);
+        let mut repeated = RepeatedBalls::new();
+        repeated.run(&mut two, &mut TwoChoice::classic(), 300, &mut rng_a);
+        repeated.run(&mut one, &mut OneChoice::new(), 300, &mut rng_b);
+        assert!(
+            two.gap() < one.gap(),
+            "two-choice equilibrium {} should beat one-choice {}",
+            two.gap(),
+            one.gap()
+        );
+    }
+}

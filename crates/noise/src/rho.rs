@@ -1,0 +1,292 @@
+//! Correct-comparison probability functions `ρ(δ)`.
+//!
+//! The `ρ-Noisy-Comp` setting (Section 2, "Probabilistic Noise") is
+//! parameterized by a non-decreasing function `ρ : N → \[0, 1\]`: a comparison
+//! between bins whose loads differ by `δ` is **correct** with probability
+//! `ρ(δ)`, independently across steps. The paper's Fig. 2.2 plots the three
+//! instances reproduced here; `ρ ≡ 1`, `ρ ≡ ½`, and `ρ ≡ ½ + β/2` recover
+//! `Two-Choice`, `One-Choice`, and the `(1+β)`-process.
+
+/// A correct-comparison probability function `ρ(δ)`.
+///
+/// Implementations must be non-decreasing in `δ` and map into `\[0, 1\]`.
+/// `δ = 0` (equal loads) is conventionally `½` — either outcome is equally
+/// "correct", and the noisy processes break such ties randomly.
+pub trait RhoFunction {
+    /// The probability that a comparison at absolute load difference
+    /// `delta` is correct.
+    fn rho(&self, delta: u64) -> f64;
+}
+
+impl<F: Fn(u64) -> f64> RhoFunction for F {
+    fn rho(&self, delta: u64) -> f64 {
+        self(delta)
+    }
+}
+
+/// The `g-Bounded` step function (Fig. 2.2a): comparisons at difference
+/// `0 < δ ⩽ g` are always *wrong*, larger differences always correct.
+///
+/// # Examples
+///
+/// ```
+/// use balloc_noise::rho::{BoundedRho, RhoFunction};
+/// let rho = BoundedRho::new(3);
+/// assert_eq!(rho.rho(0), 0.5);
+/// assert_eq!(rho.rho(3), 0.0);
+/// assert_eq!(rho.rho(4), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BoundedRho {
+    g: u64,
+}
+
+impl BoundedRho {
+    /// Creates the step function with reversal window `g`.
+    #[must_use]
+    pub fn new(g: u64) -> Self {
+        Self { g }
+    }
+
+    /// The reversal window `g`.
+    #[must_use]
+    pub fn g(&self) -> u64 {
+        self.g
+    }
+}
+
+impl RhoFunction for BoundedRho {
+    fn rho(&self, delta: u64) -> f64 {
+        if delta == 0 {
+            0.5
+        } else if delta <= self.g {
+            0.0
+        } else {
+            1.0
+        }
+    }
+}
+
+/// The `g-Myopic-Comp` step function (Fig. 2.2b): comparisons at difference
+/// `δ ⩽ g` are a fair coin, larger differences always correct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MyopicRho {
+    g: u64,
+}
+
+impl MyopicRho {
+    /// Creates the step function with myopia window `g`.
+    #[must_use]
+    pub fn new(g: u64) -> Self {
+        Self { g }
+    }
+
+    /// The myopia window `g`.
+    #[must_use]
+    pub fn g(&self) -> u64 {
+        self.g
+    }
+}
+
+impl RhoFunction for MyopicRho {
+    fn rho(&self, delta: u64) -> f64 {
+        if delta <= self.g {
+            0.5
+        } else {
+            1.0
+        }
+    }
+}
+
+/// The `σ-Noisy-Load` Gaussian-tail function (Fig. 2.2c, Eq. 2.1):
+/// `ρ(δ) = 1 − ½·exp(−(δ/σ)²)`.
+///
+/// This is the paper's *definition* of the `σ-Noisy-Load` process: the
+/// probability of a correct comparison between bins whose loads differ by
+/// `δ` when both report Gaussian-perturbed loads, after the paper's
+/// re-scaling of σ.
+///
+/// # Examples
+///
+/// ```
+/// use balloc_noise::rho::{GaussianRho, RhoFunction};
+/// let rho = GaussianRho::new(2.0);
+/// assert_eq!(rho.rho(0), 0.5);
+/// assert!(rho.rho(1) > 0.5);
+/// assert!(rho.rho(20) > 0.999);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianRho {
+    sigma: f64,
+}
+
+impl GaussianRho {
+    /// Creates the Gaussian-tail function with noise scale `σ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `σ` is not finite or not positive.
+    #[must_use]
+    pub fn new(sigma: f64) -> Self {
+        assert!(
+            sigma.is_finite() && sigma > 0.0,
+            "sigma must be finite and positive"
+        );
+        Self { sigma }
+    }
+
+    /// The noise scale `σ`.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl RhoFunction for GaussianRho {
+    fn rho(&self, delta: u64) -> f64 {
+        let z = delta as f64 / self.sigma;
+        1.0 - 0.5 * (-z * z).exp()
+    }
+}
+
+/// A constant `ρ(δ) ≡ p`. `p = 1` recovers `Two-Choice`, `p = ½` recovers
+/// `One-Choice` (in distribution), `p = ½ + β/2` the `(1+β)`-process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantRho {
+    p: f64,
+}
+
+impl ConstantRho {
+    /// Creates the constant function `ρ ≡ p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ \[0, 1\]`.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1]");
+        Self { p }
+    }
+
+    /// The constant probability `p`.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl RhoFunction for ConstantRho {
+    fn rho(&self, _delta: u64) -> f64 {
+        self.p
+    }
+}
+
+/// Returns the smallest `δ* ⩾ 1` with `ρ(δ*) ⩾ 1 − n⁻⁴`, the effective
+/// adversarial window used by the reduction of `ρ-Noisy-Comp` to
+/// `g-Adv-Comp` (Proposition 10.1).
+///
+/// Searches up to `max_delta` and returns `None` if no such δ exists in
+/// range.
+///
+/// # Examples
+///
+/// ```
+/// use balloc_noise::rho::{delta_star, GaussianRho};
+/// // For Gaussian ρ, δ* = O(σ·√log n) (Proposition 10.1 discussion).
+/// let d = delta_star(&GaussianRho::new(2.0), 1000, 10_000).unwrap();
+/// let sigma_sqrt_log = 2.0 * (1000f64.ln()).sqrt();
+/// assert!((d as f64) < 4.0 * sigma_sqrt_log);
+/// ```
+#[must_use]
+pub fn delta_star<R: RhoFunction>(rho: &R, n: u64, max_delta: u64) -> Option<u64> {
+    let threshold = 1.0 - (n as f64).powi(-4);
+    (1..=max_delta).find(|&d| rho.rho(d) >= threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_rho_step_shape() {
+        let r = BoundedRho::new(5);
+        assert_eq!(r.g(), 5);
+        assert_eq!(r.rho(0), 0.5);
+        for d in 1..=5 {
+            assert_eq!(r.rho(d), 0.0);
+        }
+        assert_eq!(r.rho(6), 1.0);
+        assert_eq!(r.rho(1000), 1.0);
+    }
+
+    #[test]
+    fn myopic_rho_step_shape() {
+        let r = MyopicRho::new(5);
+        for d in 0..=5 {
+            assert_eq!(r.rho(d), 0.5);
+        }
+        assert_eq!(r.rho(6), 1.0);
+    }
+
+    #[test]
+    fn gaussian_rho_shape() {
+        let r = GaussianRho::new(4.0);
+        assert_eq!(r.rho(0), 0.5);
+        // Non-decreasing and converging to 1.
+        let mut prev = 0.0;
+        for d in 0..100 {
+            let v = r.rho(d);
+            assert!(v >= prev);
+            assert!((0.5..=1.0).contains(&v));
+            prev = v;
+        }
+        assert!(r.rho(100) > 0.999999);
+        // ρ(σ) = 1 − e^{−1}/2 ≈ 0.8161.
+        assert!((r.rho(4) - (1.0 - 0.5 * (-1.0f64).exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn gaussian_rho_rejects_nonpositive_sigma() {
+        let _ = GaussianRho::new(0.0);
+    }
+
+    #[test]
+    fn constant_rho_validates() {
+        assert_eq!(ConstantRho::new(0.75).rho(42), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 1]")]
+    fn constant_rho_rejects_out_of_range() {
+        let _ = ConstantRho::new(1.01);
+    }
+
+    #[test]
+    fn closures_are_rho_functions() {
+        let custom = |d: u64| if d > 2 { 1.0 } else { 0.25 };
+        assert_eq!(custom.rho(1), 0.25);
+        assert_eq!(custom.rho(3), 1.0);
+    }
+
+    #[test]
+    fn delta_star_for_step_functions() {
+        // For g-Bounded/g-Myopic, δ* = g + 1 (first point where ρ = 1).
+        assert_eq!(delta_star(&BoundedRho::new(7), 100, 1000), Some(8));
+        assert_eq!(delta_star(&MyopicRho::new(7), 100, 1000), Some(8));
+        // Constant ρ < 1 never reaches the threshold.
+        assert_eq!(delta_star(&ConstantRho::new(0.9), 100, 1000), None);
+    }
+
+    #[test]
+    fn delta_star_grows_with_sigma() {
+        let n = 10_000;
+        let d1 = delta_star(&GaussianRho::new(1.0), n, 100_000).unwrap();
+        let d4 = delta_star(&GaussianRho::new(4.0), n, 100_000).unwrap();
+        let d16 = delta_star(&GaussianRho::new(16.0), n, 100_000).unwrap();
+        assert!(d1 < d4 && d4 < d16);
+        // δ* ≈ σ·√(ln(n⁴/2)) within rounding.
+        let predict = |s: f64| s * ((n as f64).powi(4) / 2.0).ln().sqrt();
+        assert!((d4 as f64 - predict(4.0)).abs() <= 1.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for the noise settings.
+
+use balloc_core::{Decider, LoadState, Process, Rng};
+use balloc_noise::{
+    AdvComp, AdvLoad, Batched, BoundedRho, ConstantRho, DelayStrategy, Delayed, GaussianRho,
+    MyopicRho, NoisyComp, PerturbStrategy, ReverseAll, RhoFunction, UniformRandom,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn adv_comp_always_picks_a_sample(
+        loads in proptest::collection::vec(0u64..32, 2..24),
+        g in 0u64..10,
+        seed in any::<u64>(),
+    ) {
+        let state = LoadState::from_loads(loads);
+        let mut rng = Rng::from_seed(seed);
+        let mut d = AdvComp::new(g, ReverseAll);
+        let mut m = AdvComp::new(g, UniformRandom);
+        for i1 in 0..state.n() {
+            for i2 in 0..state.n() {
+                let c = d.decide(&state, i1, i2, &mut rng);
+                prop_assert!(c == i1 || c == i2);
+                let c = m.decide(&state, i1, i2, &mut rng);
+                prop_assert!(c == i1 || c == i2);
+            }
+        }
+    }
+
+    #[test]
+    fn adv_comp_outside_window_is_correct(
+        g in 0u64..6,
+        lo in 0u64..20,
+        extra in 7u64..40,
+        seed in any::<u64>(),
+    ) {
+        // Two bins whose difference exceeds g: the decision must be the
+        // lighter bin no matter the strategy.
+        let state = LoadState::from_loads(vec![lo + g + extra, lo]);
+        let mut rng = Rng::from_seed(seed);
+        let mut d = AdvComp::new(g, ReverseAll);
+        prop_assert_eq!(d.decide(&state, 0, 1, &mut rng), 1);
+        prop_assert_eq!(d.decide(&state, 1, 0, &mut rng), 1);
+    }
+
+    #[test]
+    fn rho_functions_are_valid_probabilities(
+        g in 0u64..64,
+        sigma in 0.01f64..100.0,
+        delta in 0u64..1000,
+    ) {
+        for rho in [
+            BoundedRho::new(g).rho(delta),
+            MyopicRho::new(g).rho(delta),
+            GaussianRho::new(sigma).rho(delta),
+            ConstantRho::new(0.5).rho(delta),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&rho));
+        }
+    }
+
+    #[test]
+    fn rho_functions_are_nondecreasing(g in 0u64..32, sigma in 0.1f64..50.0) {
+        let bounded = BoundedRho::new(g);
+        let myopic = MyopicRho::new(g);
+        let gaussian = GaussianRho::new(sigma);
+        for d in 1..200u64 {
+            prop_assert!(bounded.rho(d) <= bounded.rho(d + 1) + 1e-12);
+            prop_assert!(myopic.rho(d) <= myopic.rho(d + 1) + 1e-12);
+            prop_assert!(gaussian.rho(d) <= gaussian.rho(d + 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn batched_conserves_balls(
+        n in 2usize..48,
+        b in 1u64..100,
+        m in 0u64..400,
+        seed in any::<u64>(),
+    ) {
+        let mut state = LoadState::new(n);
+        let mut rng = Rng::from_seed(seed);
+        Batched::new(b).run(&mut state, m, &mut rng);
+        prop_assert_eq!(state.balls(), m);
+        prop_assert_eq!(state.loads().iter().sum::<u64>(), m);
+    }
+
+    #[test]
+    fn delayed_conserves_balls_and_window(
+        n in 2usize..32,
+        tau in 1u64..64,
+        m in 0u64..300,
+        seed in any::<u64>(),
+        strategy_pick in 0u8..4,
+    ) {
+        let strategy = match strategy_pick {
+            0 => DelayStrategy::Stalest,
+            1 => DelayStrategy::Freshest,
+            2 => DelayStrategy::AdversarialFlip,
+            _ => DelayStrategy::RandomInWindow,
+        };
+        let mut process = Delayed::new(tau, strategy);
+        let mut state = LoadState::new(n);
+        let mut rng = Rng::from_seed(seed);
+        process.run(&mut state, m, &mut rng);
+        prop_assert_eq!(state.balls(), m);
+    }
+
+    #[test]
+    fn noisy_comp_decision_prob_is_consistent(
+        loads in proptest::collection::vec(0u64..16, 2..12),
+        sigma in 0.5f64..20.0,
+        seed in any::<u64>(),
+    ) {
+        use balloc_core::DecisionProbability;
+        let state = LoadState::from_loads(loads);
+        let d = NoisyComp::new(GaussianRho::new(sigma));
+        let mut rng = Rng::from_seed(seed);
+        let mut dd = NoisyComp::new(GaussianRho::new(sigma));
+        for i1 in 0..state.n() {
+            for i2 in 0..state.n() {
+                let p = d.prob_first(&state, i1, i2);
+                prop_assert!((0.0..=1.0).contains(&p));
+                // p(first | i1,i2) + p(first | i2,i1) = 1 by symmetry.
+                let q = d.prob_first(&state, i2, i1);
+                prop_assert!((p + q - 1.0).abs() < 1e-9);
+                // Decisions are always one of the samples.
+                let c = dd.decide(&state, i1, i2, &mut rng);
+                prop_assert!(c == i1 || c == i2);
+            }
+        }
+    }
+
+    #[test]
+    fn adv_load_uniform_prob_matches_symmetry(
+        x1 in 0u64..12,
+        x2 in 0u64..12,
+        g in 0u64..6,
+    ) {
+        use balloc_core::DecisionProbability;
+        let state = LoadState::from_loads(vec![x1, x2]);
+        let d = AdvLoad::new(g, PerturbStrategy::Uniform);
+        let p = d.prob_first(&state, 0, 1);
+        let q = d.prob_first(&state, 1, 0);
+        prop_assert!((p + q - 1.0).abs() < 1e-9);
+        if x1 == x2 {
+            prop_assert!((p - 0.5).abs() < 1e-9);
+        } else if x1 < x2 {
+            prop_assert!(p >= 0.5 - 1e-9, "lighter first sample should win at least half");
+        }
+    }
+
+    #[test]
+    fn gap_never_negative_under_any_noise(
+        n in 2usize..32,
+        g in 0u64..8,
+        m in 1u64..300,
+        seed in any::<u64>(),
+    ) {
+        use balloc_noise::GBounded;
+        let mut state = LoadState::new(n);
+        let mut rng = Rng::from_seed(seed);
+        GBounded::new(g).run(&mut state, m, &mut rng);
+        prop_assert!(state.gap() >= 0.0);
+        prop_assert!(state.min_side_gap() >= 0.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! The paper's named constants (Appendix C, Table C.2).
+//!
+//! These are the exact constants used in the upper-bound proofs; the
+//! drop-inequality tests and the `potential_drop` ablation instantiate the
+//! potentials with them so the empirical checks match the paper's setup.
+
+/// `D = 365`: a step `t` is *good* when `Δ^t ⩽ D·n·g` (Lemma 5.4).
+pub const D: f64 = 365.0;
+
+/// `c₄ = 2·D = 730`: the offset of `Λ` is `c₄·g` (Eq. 5.1).
+pub const C4: f64 = 730.0;
+
+/// `α = 1/18`: the smoothing parameter of `Λ` (Eq. 5.1).
+pub const ALPHA: f64 = 1.0 / 18.0;
+
+/// `ε = 1/12`: appears in the drop inequalities for `Λ` and `V`
+/// (Lemma 5.7).
+pub const EPSILON: f64 = 1.0 / 12.0;
+
+/// `r = 6/(6+ε)`: the guaranteed fraction of good steps (Lemma 5.4).
+pub const R: f64 = 6.0 / (6.0 + EPSILON);
+
+/// `c = 18/ε = 216`: the threshold `Λ > c·n` above which `Λ` drops by a
+/// multiplicative factor in good steps (Lemma 5.7).
+pub const C: f64 = 18.0 / EPSILON;
+
+/// The smoothing parameter `γ(g) = −ln(1 − 1/(8·48))/g` of the hyperbolic
+/// cosine potential used in Theorem 4.3.
+///
+/// # Panics
+///
+/// Panics if `g == 0` (the theorem requires `g ⩾ 1`).
+///
+/// # Examples
+///
+/// ```
+/// use balloc_potentials::constants::gamma_for_g;
+/// let gamma = gamma_for_g(1);
+/// // −ln(1 − 1/384) ≈ 0.002608
+/// assert!((gamma - 0.002608).abs() < 1e-5);
+/// // γ scales like 1/g.
+/// assert!((gamma_for_g(4) - gamma / 4.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn gamma_for_g(g: u64) -> f64 {
+    assert!(g >= 1, "g must be at least 1");
+    let base: f64 = 1.0 - 1.0 / (8.0 * 48.0);
+    -base.ln() / g as f64
+}
+
+/// The constant `c₃ = 16/(γ·g) = −16/ln(1 − 1/384)` from Eq. (4.6):
+/// Theorem 4.3(iii) bounds `max_i |y_i| ⩽ c₃·g·log(ng)` w.h.p.
+#[must_use]
+pub fn c3() -> f64 {
+    let base: f64 = 1.0 - 1.0 / (8.0 * 48.0);
+    16.0 / -base.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_paper_values() {
+        assert_eq!(D, 365.0);
+        assert_eq!(C4, 730.0);
+        assert!((ALPHA - 0.0555555).abs() < 1e-5);
+        assert!((EPSILON - 0.0833333).abs() < 1e-5);
+        assert!((C - 216.0).abs() < 1e-12);
+        // r = 6/(6 + 1/12) = 72/73.
+        assert!((R - 72.0 / 73.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_is_below_lemma_threshold() {
+        // Theorem 4.3 requires γ < 1/72.
+        for g in 1..=64 {
+            assert!(gamma_for_g(g) < 1.0 / 72.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn gamma_rejects_zero_g() {
+        let _ = gamma_for_g(0);
+    }
+
+    #[test]
+    fn c3_is_at_least_two() {
+        // Eq. (4.6) states c₃ ⩾ 2.
+        assert!(c3() >= 2.0);
+    }
+}

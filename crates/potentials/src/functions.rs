@@ -1,0 +1,379 @@
+//! The paper's potential functions (see Appendix C, Table C.1).
+//!
+//! All potentials are functions of the *normalized* load vector
+//! `y_i = x_i − t/n`. They are evaluated in O(n); the simulation hot loop
+//! never calls them — they exist for analysis, tests, and the
+//! drop-inequality ablation (`potential_drop` in `balloc-bench`).
+
+use balloc_core::LoadState;
+
+/// A potential function over load states.
+pub trait Potential {
+    /// Evaluates the potential on the given state.
+    fn value(&self, state: &LoadState) -> f64;
+
+    /// A short human-readable name (used in reports).
+    fn name(&self) -> String;
+}
+
+/// The hyperbolic-cosine potential `Γ(γ) = Σ_i e^{γ·y_i} + e^{−γ·y_i}`
+/// (Eq. 4.1), the work-horse of the `O(g·log(ng))` warm-up bound
+/// (Theorem 4.3).
+///
+/// # Examples
+///
+/// ```
+/// use balloc_core::LoadState;
+/// use balloc_potentials::{HyperbolicCosine, Potential};
+///
+/// let state = LoadState::new(10); // all loads zero ⇒ y ≡ 0
+/// let gamma = HyperbolicCosine::new(0.5);
+/// assert!((gamma.value(&state) - 20.0).abs() < 1e-12); // 2n
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HyperbolicCosine {
+    gamma: f64,
+}
+
+impl HyperbolicCosine {
+    /// Creates `Γ(γ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `γ` is not in `(0, 1)` (the range required by the paper's
+    /// lemmas).
+    #[must_use]
+    pub fn new(gamma: f64) -> Self {
+        assert!(
+            gamma.is_finite() && gamma > 0.0 && gamma < 1.0,
+            "gamma must lie in (0, 1)"
+        );
+        Self { gamma }
+    }
+
+    /// The smoothing parameter `γ`.
+    #[must_use]
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+}
+
+impl Potential for HyperbolicCosine {
+    fn value(&self, state: &LoadState) -> f64 {
+        let avg = state.average();
+        state
+            .loads()
+            .iter()
+            .map(|&x| {
+                let y = x as f64 - avg;
+                (self.gamma * y).exp() + (-self.gamma * y).exp()
+            })
+            .sum()
+    }
+
+    fn name(&self) -> String {
+        format!("Gamma(gamma={})", self.gamma)
+    }
+}
+
+/// The offset hyperbolic-cosine potential
+/// `Λ(α, z) = Σ_i e^{α·(y_i−z)⁺} + e^{α·(−y_i−z)⁺}` (Eq. 5.1).
+///
+/// With the paper's `α = 1/18` and `z = c₄·g` this is the potential Λ of
+/// Section 5; with `α₁ = 1/(6κ)` it is the potential `V` of Section 7.
+///
+/// # Examples
+///
+/// ```
+/// use balloc_core::LoadState;
+/// use balloc_potentials::{OffsetHyperbolicCosine, Potential};
+///
+/// // All |y| below the offset ⇒ both exponents clamp to 0 ⇒ value = 2n.
+/// let state = LoadState::from_loads(vec![3, 2, 1]);
+/// let lambda = OffsetHyperbolicCosine::new(0.25, 10.0);
+/// assert!((lambda.value(&state) - 6.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OffsetHyperbolicCosine {
+    alpha: f64,
+    offset: f64,
+}
+
+impl OffsetHyperbolicCosine {
+    /// Creates `Λ(α, offset)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `α ⩽ 0`, `α` is not finite, or `offset < 0`.
+    #[must_use]
+    pub fn new(alpha: f64, offset: f64) -> Self {
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive");
+        assert!(offset >= 0.0, "offset must be non-negative");
+        Self { alpha, offset }
+    }
+
+    /// The smoothing parameter `α`.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The offset `z`.
+    #[must_use]
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+}
+
+impl Potential for OffsetHyperbolicCosine {
+    fn value(&self, state: &LoadState) -> f64 {
+        let avg = state.average();
+        state
+            .loads()
+            .iter()
+            .map(|&x| {
+                let y = x as f64 - avg;
+                let over = (y - self.offset).max(0.0);
+                let under = (-y - self.offset).max(0.0);
+                (self.alpha * over).exp() + (self.alpha * under).exp()
+            })
+            .sum()
+    }
+
+    fn name(&self) -> String {
+        format!("Lambda(alpha={}, offset={})", self.alpha, self.offset)
+    }
+}
+
+/// The absolute-value potential `Δ = Σ_i |y_i|` (Eq. 5.2). A step `t` is
+/// *good* in the Section 5 analysis when `Δ^t ⩽ D·n·g`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AbsoluteValue;
+
+impl AbsoluteValue {
+    /// Creates `Δ`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Potential for AbsoluteValue {
+    fn value(&self, state: &LoadState) -> f64 {
+        let avg = state.average();
+        state.loads().iter().map(|&x| (x as f64 - avg).abs()).sum()
+    }
+
+    fn name(&self) -> String {
+        "Delta".into()
+    }
+}
+
+/// The quadratic potential `Υ = Σ_i y_i²` (Eq. 5.3), whose expected drop
+/// `E[ΔΥ] ⩽ −Δ/n + 2g + 1` (Lemma 5.3) drives the constant-fraction-of-
+/// good-steps argument.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Quadratic;
+
+impl Quadratic {
+    /// Creates `Υ`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Potential for Quadratic {
+    fn value(&self, state: &LoadState) -> f64 {
+        let avg = state.average();
+        state
+            .loads()
+            .iter()
+            .map(|&x| {
+                let y = x as f64 - avg;
+                y * y
+            })
+            .sum()
+    }
+
+    fn name(&self) -> String {
+        "Upsilon".into()
+    }
+}
+
+/// The super-exponential potential `Φ(φ, z) = Σ_i e^{φ·(y_i−z)⁺}`
+/// (Eq. 6.1), used in the layered induction of Sections 6–9. Unlike `Γ`,
+/// it has no underloaded component and may *increase* in expectation unless
+/// the event `K` holds (Lemma 8.1).
+///
+/// # Examples
+///
+/// ```
+/// use balloc_core::LoadState;
+/// use balloc_potentials::{Potential, SuperExponential};
+///
+/// let state = LoadState::from_loads(vec![9, 0, 0]); // avg 3, y = (6,−3,−3)
+/// let phi = SuperExponential::new(4.0, 2.0);
+/// // Only the first bin exceeds z = 2: e^{4·(6−2)} + 1 + 1.
+/// let expected = (16.0f64).exp() + 2.0;
+/// assert!((phi.value(&state) - expected).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuperExponential {
+    phi: f64,
+    z: f64,
+}
+
+impl SuperExponential {
+    /// Creates `Φ(φ, z)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `φ ⩽ 0`, `φ` is not finite, or `z < 0`.
+    #[must_use]
+    pub fn new(phi: f64, z: f64) -> Self {
+        assert!(phi.is_finite() && phi > 0.0, "phi must be positive");
+        assert!(z >= 0.0, "offset z must be non-negative");
+        Self { phi, z }
+    }
+
+    /// The smoothing parameter `φ`.
+    #[must_use]
+    pub fn phi(&self) -> f64 {
+        self.phi
+    }
+
+    /// The integer offset `z`.
+    #[must_use]
+    pub fn z(&self) -> f64 {
+        self.z
+    }
+}
+
+impl Potential for SuperExponential {
+    fn value(&self, state: &LoadState) -> f64 {
+        let avg = state.average();
+        state
+            .loads()
+            .iter()
+            .map(|&x| {
+                let y = x as f64 - avg;
+                (self.phi * (y - self.z).max(0.0)).exp()
+            })
+            .sum()
+    }
+
+    fn name(&self) -> String {
+        format!("Phi(phi={}, z={})", self.phi, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed_state() -> LoadState {
+        LoadState::from_loads(vec![8, 5, 2, 1, 0, 0, 0, 0])
+    }
+
+    #[test]
+    fn gamma_on_balanced_state_is_2n() {
+        let state = LoadState::from_loads(vec![5, 5, 5, 5]);
+        let g = HyperbolicCosine::new(0.3);
+        assert!((g.value(&state) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_lower_bound_2n() {
+        // e^x + e^{−x} ⩾ 2 pointwise ⇒ Γ ⩾ 2n for any state.
+        let g = HyperbolicCosine::new(0.7);
+        for loads in [vec![9, 0, 0], vec![1, 2, 3], vec![100, 1, 1]] {
+            let state = LoadState::from_loads(loads);
+            assert!(g.value(&state) >= 2.0 * state.n() as f64 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn gamma_grows_with_imbalance() {
+        let g = HyperbolicCosine::new(0.5);
+        let balanced = LoadState::from_loads(vec![2, 2, 2, 2]);
+        let skewed = LoadState::from_loads(vec![8, 0, 0, 0]);
+        assert!(g.value(&skewed) > g.value(&balanced));
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn gamma_validates_range() {
+        let _ = HyperbolicCosine::new(1.5);
+    }
+
+    #[test]
+    fn lambda_clamps_within_offset() {
+        let lambda = OffsetHyperbolicCosine::new(0.5, 100.0);
+        let state = skewed_state();
+        // Every |y| ⩽ 100 ⇒ value = 2n exactly.
+        assert!((lambda.value(&state) - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_reduces_to_gamma_at_zero_offset() {
+        let state = skewed_state();
+        let lambda = OffsetHyperbolicCosine::new(0.25, 0.0);
+        let gamma = HyperbolicCosine::new(0.25);
+        // With offset 0, (y)⁺ and (−y)⁺ split the cosh: for y ≠ 0 one term
+        // is e^{α|y|} and the other 1, so Λ = Σ e^{α|y|} + n, while
+        // Γ = Σ e^{α|y|} + e^{−α|y|} ⩽ Λ. Check the ordering.
+        assert!(lambda.value(&state) >= gamma.value(&state) - 1e-9);
+    }
+
+    #[test]
+    fn absolute_value_matches_manual() {
+        // loads (8,5,2,1,0,0,0,0), avg = 2: |y| = 6,3,0,1,2,2,2,2 → 18.
+        let state = skewed_state();
+        assert!((AbsoluteValue::new().value(&state) - 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_matches_manual() {
+        // y = (6,3,0,−1,−2,−2,−2,−2): squares 36+9+0+1+4·4 = 62.
+        let state = skewed_state();
+        assert!((Quadratic::new().value(&state) - 62.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cauchy_schwarz_between_delta_and_upsilon() {
+        // Δ² ⩽ n·Υ for any state.
+        for loads in [vec![8, 5, 2, 1, 0, 0, 0, 0], vec![3, 3, 0], vec![10, 0]] {
+            let state = LoadState::from_loads(loads);
+            let d = AbsoluteValue::new().value(&state);
+            let u = Quadratic::new().value(&state);
+            assert!(d * d <= state.n() as f64 * u + 1e-9);
+        }
+    }
+
+    #[test]
+    fn super_exponential_floor_is_n() {
+        // Every term is at least e^0 = 1.
+        let phi = SuperExponential::new(4.0, 50.0);
+        let state = skewed_state();
+        assert!((phi.value(&state) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn super_exponential_counts_only_overloaded_tail() {
+        let state = LoadState::from_loads(vec![12, 6, 0, 0, 0, 0]); // avg 3
+        let phi = SuperExponential::new(2.0, 1.0);
+        // y = (9, 3, −3×4): terms e^{2·8}, e^{2·2}, 1×4.
+        let expected = (16.0f64).exp() + (4.0f64).exp() + 4.0;
+        assert!((phi.value(&state) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn names_are_informative() {
+        assert!(HyperbolicCosine::new(0.5).name().contains("0.5"));
+        assert!(OffsetHyperbolicCosine::new(0.1, 3.0).name().contains("3"));
+        assert_eq!(AbsoluteValue::new().name(), "Delta");
+        assert_eq!(Quadratic::new().name(), "Upsilon");
+        assert!(SuperExponential::new(4.0, 2.0).name().contains("Phi"));
+    }
+}

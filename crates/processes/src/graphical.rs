@@ -1,0 +1,263 @@
+//! Graphical allocation: two-choice on the endpoints of a random edge.
+//!
+//! In the *graphical* setting (Kenthapadi & Panigrahy; Peres, Talwar &
+//! Wieder — discussed in the paper's related work), bins are vertices of a
+//! graph `G`; each ball samples an edge uniformly at random and is placed
+//! on the lesser loaded endpoint. The complete graph recovers `Two-Choice`
+//! on distinct samples; sparser graphs give larger gaps (`O(log n)` for
+//! any connected regular graph by \[45\]).
+//!
+//! Composing with a noisy [`Decider`] from `balloc-noise` yields the
+//! *noisy graphical* setting — one of the natural extensions the paper's
+//! framework supports.
+
+use balloc_core::{Decider, LoadState, PerfectDecider, Process, Rng};
+
+/// A vertex-transitive graph topology over `n` bins, used as the edge
+/// sampler of [`GraphicalTwoChoice`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Topology {
+    /// The complete graph `K_n`: an edge is a uniform pair of distinct
+    /// bins.
+    Complete,
+    /// The cycle `C_n`: edges `{i, i+1 mod n}`.
+    Cycle,
+    /// The hypercube `Q_d` on `n = 2^d` vertices: edges flip one bit.
+    Hypercube,
+    /// An explicit edge list (validated non-empty, endpoints in range at
+    /// sample time).
+    EdgeList(Vec<(usize, usize)>),
+}
+
+impl Topology {
+    /// Samples an edge `(u, v)` of the topology uniformly at random.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`, if the topology is [`Topology::Hypercube`] and
+    /// `n` is not a power of two, or if an [`Topology::EdgeList`] is empty
+    /// or contains an endpoint `⩾ n`.
+    pub fn sample_edge(&self, n: usize, rng: &mut Rng) -> (usize, usize) {
+        assert!(n >= 2, "graphical allocation needs at least two bins");
+        match self {
+            Topology::Complete => {
+                let u = rng.below_usize(n);
+                let mut v = rng.below_usize(n - 1);
+                if v >= u {
+                    v += 1;
+                }
+                (u, v)
+            }
+            Topology::Cycle => {
+                let u = rng.below_usize(n);
+                (u, (u + 1) % n)
+            }
+            Topology::Hypercube => {
+                assert!(n.is_power_of_two(), "hypercube needs n = 2^d");
+                let d = n.trailing_zeros();
+                let u = rng.below_usize(n);
+                let bit = rng.below(u64::from(d)) as usize;
+                (u, u ^ (1 << bit))
+            }
+            Topology::EdgeList(edges) => {
+                assert!(!edges.is_empty(), "edge list must be non-empty");
+                let (u, v) = edges[rng.below_usize(edges.len())];
+                assert!(u < n && v < n, "edge endpoint out of range");
+                (u, v)
+            }
+        }
+    }
+}
+
+/// Graphical two-choice: sample an edge of the topology, let a
+/// [`Decider`] choose among its endpoints.
+///
+/// # Examples
+///
+/// ```
+/// use balloc_core::{LoadState, Process, Rng};
+/// use balloc_processes::{GraphicalTwoChoice, Topology};
+///
+/// let n = 256;
+/// let mut process = GraphicalTwoChoice::classic(Topology::Cycle);
+/// let mut state = LoadState::new(n);
+/// let mut rng = Rng::from_seed(5);
+/// process.run(&mut state, 10 * n as u64, &mut rng);
+/// assert_eq!(state.balls(), 10 * n as u64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphicalTwoChoice<D = PerfectDecider> {
+    topology: Topology,
+    decider: D,
+}
+
+impl GraphicalTwoChoice<PerfectDecider> {
+    /// Graphical allocation with the noise-free comparison.
+    #[must_use]
+    pub fn classic(topology: Topology) -> Self {
+        Self::with_decider(topology, PerfectDecider::default())
+    }
+}
+
+impl<D> GraphicalTwoChoice<D> {
+    /// Graphical allocation whose endpoint comparison is resolved by
+    /// `decider` (e.g. a noisy decider from `balloc-noise`).
+    #[must_use]
+    pub fn with_decider(topology: Topology, decider: D) -> Self {
+        Self { topology, decider }
+    }
+
+    /// The graph topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+}
+
+impl<D: Decider> Process for GraphicalTwoChoice<D> {
+    #[inline]
+    fn allocate(&mut self, state: &mut LoadState, rng: &mut Rng) -> usize {
+        let (u, v) = self.topology.sample_edge(state.n(), rng);
+        let chosen = self.decider.decide(state, u, v, rng);
+        state.allocate(chosen);
+        chosen
+    }
+
+    fn reset(&mut self) {
+        self.decider.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balloc_core::TwoChoice;
+
+    #[test]
+    fn complete_graph_edges_are_distinct_uniform_pairs() {
+        let mut rng = Rng::from_seed(1);
+        let n = 8;
+        let mut counts = vec![0u32; n * n];
+        for _ in 0..64_000 {
+            let (u, v) = Topology::Complete.sample_edge(n, &mut rng);
+            assert_ne!(u, v);
+            counts[u * n + v] += 1;
+        }
+        // Each ordered pair should appear ≈ 64000/56 ≈ 1143 times.
+        for u in 0..n {
+            for v in 0..n {
+                if u == v {
+                    assert_eq!(counts[u * n + v], 0);
+                } else {
+                    let c = counts[u * n + v];
+                    assert!((800..1500).contains(&c), "pair ({u},{v}) count {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_edges_are_neighbors() {
+        let mut rng = Rng::from_seed(2);
+        for _ in 0..1000 {
+            let (u, v) = Topology::Cycle.sample_edge(10, &mut rng);
+            assert!(v == (u + 1) % 10);
+        }
+    }
+
+    #[test]
+    fn hypercube_edges_flip_one_bit() {
+        let mut rng = Rng::from_seed(3);
+        for _ in 0..1000 {
+            let (u, v) = Topology::Hypercube.sample_edge(16, &mut rng);
+            assert_eq!((u ^ v).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n = 2^d")]
+    fn hypercube_validates_n() {
+        let mut rng = Rng::from_seed(0);
+        let _ = Topology::Hypercube.sample_edge(12, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_edge_list_rejected() {
+        let mut rng = Rng::from_seed(0);
+        let _ = Topology::EdgeList(vec![]).sample_edge(4, &mut rng);
+    }
+
+    #[test]
+    fn edge_list_samples_given_edges() {
+        let mut rng = Rng::from_seed(4);
+        let edges = vec![(0usize, 1usize), (2, 3)];
+        for _ in 0..100 {
+            let e = Topology::EdgeList(edges.clone()).sample_edge(4, &mut rng);
+            assert!(e == (0, 1) || e == (2, 3));
+        }
+    }
+
+    #[test]
+    fn complete_graph_gap_close_to_two_choice() {
+        // Two-Choice samples *with* replacement; the complete graph
+        // without. For n ≫ 1 the difference is negligible.
+        let n = 1_000;
+        let m = 50 * n as u64;
+        let mut a = LoadState::new(n);
+        let mut rng = Rng::from_seed(9);
+        GraphicalTwoChoice::classic(Topology::Complete).run(&mut a, m, &mut rng);
+        let mut b = LoadState::new(n);
+        let mut rng = Rng::from_seed(9);
+        TwoChoice::classic().run(&mut b, m, &mut rng);
+        assert!(
+            (a.gap() - b.gap()).abs() <= 2.0,
+            "complete-graph gap {} vs two-choice {}",
+            a.gap(),
+            b.gap()
+        );
+    }
+
+    #[test]
+    fn cycle_gap_exceeds_complete_graph_gap() {
+        // Sparse graphs restrict choice: the cycle's gap must be larger
+        // (Θ(log n) vs Θ(log log n) by [45]).
+        let n = 1_024;
+        let m = 50 * n as u64;
+        let gap_of = |topology| {
+            let mut state = LoadState::new(n);
+            let mut rng = Rng::from_seed(11);
+            GraphicalTwoChoice::classic(topology).run(&mut state, m, &mut rng);
+            state.gap()
+        };
+        let cycle = gap_of(Topology::Cycle);
+        let complete = gap_of(Topology::Complete);
+        let hypercube = gap_of(Topology::Hypercube);
+        assert!(
+            cycle > complete + 1.0,
+            "cycle {cycle} should exceed complete {complete}"
+        );
+        // The hypercube (log-degree) sits between them.
+        assert!(
+            hypercube <= cycle + 1.0,
+            "hypercube {hypercube} should not exceed cycle {cycle}"
+        );
+    }
+
+    #[test]
+    fn noisy_graphical_allocation_composes() {
+        // The decider abstraction composes: graphical + always-heavier
+        // misbehaves more than graphical + perfect.
+        use crate::AlwaysHeavier;
+        let n = 512;
+        let m = 20 * n as u64;
+        let mut noisy = LoadState::new(n);
+        let mut rng = Rng::from_seed(13);
+        GraphicalTwoChoice::with_decider(Topology::Complete, AlwaysHeavier)
+            .run(&mut noisy, m, &mut rng);
+        let mut clean = LoadState::new(n);
+        let mut rng = Rng::from_seed(13);
+        GraphicalTwoChoice::classic(Topology::Complete).run(&mut clean, m, &mut rng);
+        assert!(noisy.gap() > clean.gap());
+    }
+}

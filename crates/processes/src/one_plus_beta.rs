@@ -1,0 +1,117 @@
+//! The `(1+β)`-process.
+
+use balloc_core::{Decider, LoadState, PerfectDecider, Process, Rng};
+
+/// The `(1+β)`-process of Peres, Talwar and Wieder: with probability `β`
+/// perform a (possibly noisy) Two-Choice step, otherwise a One-Choice step.
+///
+/// The paper lists `(1+β)` as the `ρ-Noisy-Comp` instance with
+/// `ρ(δ) ≡ ½ + β/2`; this type implements it directly and also allows
+/// composing the two-sample branch with any noisy [`Decider`], which is one
+/// of the open directions named in the paper's conclusions.
+///
+/// # Examples
+///
+/// ```
+/// use balloc_core::{LoadState, Process, Rng};
+/// use balloc_processes::OnePlusBeta;
+///
+/// let mut state = LoadState::new(200);
+/// let mut rng = Rng::from_seed(21);
+/// OnePlusBeta::new(0.7).run(&mut state, 4_000, &mut rng);
+/// assert_eq!(state.balls(), 4_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnePlusBeta<D = PerfectDecider> {
+    beta: f64,
+    decider: D,
+}
+
+impl OnePlusBeta<PerfectDecider> {
+    /// `(1+β)` with a noise-free comparison on two-sample steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `β ∉ \[0, 1\]`.
+    #[must_use]
+    pub fn new(beta: f64) -> Self {
+        Self::with_decider(beta, PerfectDecider::default())
+    }
+}
+
+impl<D> OnePlusBeta<D> {
+    /// `(1+β)` whose two-sample steps are resolved by `decider`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `β ∉ \[0, 1\]`.
+    #[must_use]
+    pub fn with_decider(beta: f64, decider: D) -> Self {
+        assert!((0.0..=1.0).contains(&beta), "beta must lie in [0, 1]");
+        Self { beta, decider }
+    }
+
+    /// The mixing parameter β.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+impl<D: Decider> Process for OnePlusBeta<D> {
+    #[inline]
+    fn allocate(&mut self, state: &mut LoadState, rng: &mut Rng) -> usize {
+        let n = state.n();
+        let i1 = rng.below_usize(n);
+        let chosen = if rng.chance(self.beta) {
+            let i2 = rng.below_usize(n);
+            self.decider.decide(state, i1, i2, rng)
+        } else {
+            i1
+        };
+        state.allocate(chosen);
+        chosen
+    }
+
+    fn reset(&mut self) {
+        self.decider.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn invalid_beta_rejected() {
+        let _ = OnePlusBeta::new(-0.1);
+    }
+
+    #[test]
+    fn beta_zero_is_one_choice_like() {
+        // β = 0 never takes a second sample.
+        let n = 100;
+        let mut state = LoadState::new(n);
+        let mut rng = Rng::from_seed(17);
+        OnePlusBeta::new(0.0).run(&mut state, 1000, &mut rng);
+        assert_eq!(state.balls(), 1000);
+    }
+
+    #[test]
+    fn gap_interpolates_between_one_and_two_choice() {
+        let n = 2000;
+        let m = 50 * n as u64;
+        let gap_for = |beta: f64| {
+            let mut state = LoadState::new(n);
+            let mut rng = Rng::from_seed(314);
+            OnePlusBeta::new(beta).run(&mut state, m, &mut rng);
+            state.gap()
+        };
+        let g0 = gap_for(0.0);
+        let g5 = gap_for(0.5);
+        let g1 = gap_for(1.0);
+        assert!(g1 < g5, "β=1 should beat β=0.5 ({g1} vs {g5})");
+        assert!(g5 < g0, "β=0.5 should beat β=0 ({g5} vs {g0})");
+    }
+}

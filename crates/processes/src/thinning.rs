@@ -1,0 +1,161 @@
+//! Thinning processes: `Mean-Thinning` and threshold `Two-Thinning`.
+
+use balloc_core::{LoadState, Process, Rng};
+
+/// `Mean-Thinning`: sample a bin; if it is underloaded (normalized load
+/// `y < 0`), place the ball there, otherwise place it in a second, fresh
+/// uniform sample *without comparing*.
+///
+/// Listed in the paper's conclusions as a target for future noisy analysis;
+/// included here as a baseline.
+///
+/// # Examples
+///
+/// ```
+/// use balloc_core::{LoadState, Process, Rng};
+/// use balloc_processes::MeanThinning;
+///
+/// let mut state = LoadState::new(300);
+/// let mut rng = Rng::from_seed(8);
+/// MeanThinning::new().run(&mut state, 3_000, &mut rng);
+/// assert_eq!(state.balls(), 3_000);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MeanThinning;
+
+impl MeanThinning {
+    /// Creates the `Mean-Thinning` process.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Process for MeanThinning {
+    #[inline]
+    fn allocate(&mut self, state: &mut LoadState, rng: &mut Rng) -> usize {
+        let n = state.n();
+        let i1 = rng.below_usize(n);
+        let chosen = if (state.load(i1) as f64) < state.average() {
+            i1
+        } else {
+            rng.below_usize(n)
+        };
+        state.allocate(chosen);
+        chosen
+    }
+}
+
+/// Threshold `Two-Thinning`: accept the first sample if its load is below
+/// `t/n + offset`, otherwise place the ball in a second uniform sample
+/// (without comparing the two).
+///
+/// # Examples
+///
+/// ```
+/// use balloc_core::{LoadState, Process, Rng};
+/// use balloc_processes::TwoThinning;
+///
+/// let mut state = LoadState::new(300);
+/// let mut rng = Rng::from_seed(9);
+/// TwoThinning::new(1.0).run(&mut state, 3_000, &mut rng);
+/// assert_eq!(state.balls(), 3_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoThinning {
+    offset: f64,
+}
+
+impl TwoThinning {
+    /// Creates a threshold two-thinning process accepting first samples with
+    /// load below `average + offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is not finite.
+    #[must_use]
+    pub fn new(offset: f64) -> Self {
+        assert!(offset.is_finite(), "offset must be finite");
+        Self { offset }
+    }
+
+    /// The acceptance offset above the average load.
+    #[must_use]
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+}
+
+impl Process for TwoThinning {
+    #[inline]
+    fn allocate(&mut self, state: &mut LoadState, rng: &mut Rng) -> usize {
+        let n = state.n();
+        let i1 = rng.below_usize(n);
+        let chosen = if (state.load(i1) as f64) < state.average() + self.offset {
+            i1
+        } else {
+            rng.below_usize(n)
+        };
+        state.allocate(chosen);
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OneChoice;
+
+    #[test]
+    fn mean_thinning_beats_one_choice() {
+        let n = 2000;
+        let m = 50 * n as u64;
+        let mut thin = LoadState::new(n);
+        let mut rng = Rng::from_seed(555);
+        MeanThinning::new().run(&mut thin, m, &mut rng);
+
+        let mut one = LoadState::new(n);
+        let mut rng = Rng::from_seed(555);
+        OneChoice::new().run(&mut one, m, &mut rng);
+
+        assert!(
+            thin.gap() < one.gap(),
+            "mean-thinning {} should beat one-choice {}",
+            thin.gap(),
+            one.gap()
+        );
+    }
+
+    #[test]
+    fn two_thinning_with_zero_offset_matches_mean_thinning_stream() {
+        let n = 64;
+        let mut a = LoadState::new(n);
+        let mut b = LoadState::new(n);
+        let mut rng_a = Rng::from_seed(9);
+        let mut rng_b = Rng::from_seed(9);
+        MeanThinning::new().run(&mut a, 2000, &mut rng_a);
+        TwoThinning::new(0.0).run(&mut b, 2000, &mut rng_b);
+        assert_eq!(a.loads(), b.loads());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn two_thinning_rejects_nan_offset() {
+        let _ = TwoThinning::new(f64::NAN);
+    }
+
+    #[test]
+    fn huge_offset_reduces_to_one_choice_stream() {
+        // With an enormous acceptance offset the first sample is always
+        // accepted, so the process consumes exactly one sample per ball and
+        // the streams coincide with One-Choice.
+        let n = 32;
+        let mut a = LoadState::new(n);
+        let mut b = LoadState::new(n);
+        let mut rng_a = Rng::from_seed(77);
+        let mut rng_b = Rng::from_seed(77);
+        TwoThinning::new(1e12).run(&mut a, 500, &mut rng_a);
+        OneChoice::new().run(&mut b, 500, &mut rng_b);
+        assert_eq!(a.loads(), b.loads());
+    }
+}

@@ -1,0 +1,51 @@
+//! Reproducible, parallel simulation harness for balanced-allocation
+//! experiments.
+//!
+//! This crate turns the processes of `balloc-core`/`balloc-noise` into the
+//! experiments of the paper's Section 12:
+//!
+//! * [`RunConfig`] / [`run`] / [`run_traced`] — a single seeded run with
+//!   optional gap traces ([`Checkpoints`]);
+//! * [`repeat`] — parallel repetitions with derived per-run seeds
+//!   (sequential ≡ parallel, always);
+//! * [`sweep`] — one experiment per parameter value (the paper's figure
+//!   series);
+//! * [`GapDistribution`] — the `gap : percent%` histograms of Tables
+//!   12.3/12.4;
+//! * [`TextTable`] / [`to_json`] — reporting.
+//!
+//! # Example: a miniature Fig. 12.1 point
+//!
+//! ```
+//! use balloc_noise::GBounded;
+//! use balloc_sim::{repeat, GapDistribution, RunConfig};
+//!
+//! let results = repeat(
+//!     || GBounded::new(4),
+//!     RunConfig::per_bin(500, 50, 42),
+//!     10,
+//!     2,
+//! );
+//! let dist = GapDistribution::from_results(&results);
+//! println!("{dist}"); // e.g. "6 : 30%\n7 : 50%\n8 : 20%"
+//! assert_eq!(dist.total(), 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod distribution;
+pub mod initial;
+mod report;
+mod runner;
+mod sweep;
+
+pub use config::{Checkpoints, RunConfig};
+pub use distribution::GapDistribution;
+pub use report::{to_json, TextTable};
+pub use runner::{
+    gaps, repeat, repeat_traced, run, run_on_state, run_traced, RunResult, TracePoint,
+};
+pub use sweep::{series, sweep, SweepPoint};

@@ -1,0 +1,217 @@
+//! Plain-text tables, CSV, and JSON reporting for experiment binaries.
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+use serde::Serialize;
+
+/// A simple aligned plain-text table, used by the `balloc-bench` binaries
+/// to print the paper's tables.
+///
+/// # Examples
+///
+/// ```
+/// use balloc_sim::TextTable;
+///
+/// let mut table = TextTable::new(vec!["g".into(), "gap".into()]);
+/// table.push_row(vec!["1".into(), "4.2".into()]);
+/// table.push_row(vec!["16".into(), "24.9".into()]);
+/// let rendered = table.render();
+/// assert!(rendered.contains("g"));
+/// assert!(rendered.contains("24.9"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    #[must_use]
+    pub fn new(headers: Vec<String>) -> Self {
+        assert!(!headers.is_empty(), "table needs at least one column");
+        Self {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| display_width(h)).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(display_width(cell));
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                let pad = widths[c] - display_width(cell);
+                out.push_str(cell);
+                for _ in 0..pad {
+                    out.push(' ');
+                }
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Writes the table as CSV (headers first, comma-separated, quoting
+    /// cells containing commas or quotes).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the underlying writer.
+    pub fn write_csv<W: Write>(&self, mut writer: W) -> io::Result<()> {
+        let write_line = |writer: &mut W, cells: &[String]| -> io::Result<()> {
+            let line = cells
+                .iter()
+                .map(|c| csv_escape(c))
+                .collect::<Vec<_>>()
+                .join(",");
+            writeln!(writer, "{line}")
+        };
+        write_line(&mut writer, &self.headers)?;
+        for row in &self.rows {
+            write_line(&mut writer, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Multi-line cells are aligned on their longest line.
+fn display_width(s: &str) -> usize {
+    s.lines().map(|l| l.chars().count()).max().unwrap_or(0)
+}
+
+fn csv_escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Serializes any experiment artifact to pretty JSON (used to persist
+/// results referenced by EXPERIMENTS.md).
+///
+/// # Errors
+///
+/// Returns an error if serialization fails.
+pub fn to_json<T: Serialize>(value: &T) -> serde_json::Result<String> {
+    serde_json::to_string_pretty(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_headers_rejected() {
+        let _ = TextTable::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = TextTable::new(vec!["a".into(), "b".into()]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name".into(), "value".into()]);
+        t.push_row(vec!["x".into(), "1".into()]);
+        t.push_row(vec!["longer".into(), "22".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, two rows
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut t = TextTable::new(vec!["a".into()]);
+        assert!(t.is_empty());
+        t.push_row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_output_is_parseable() {
+        let mut t = TextTable::new(vec!["a".into(), "b".into()]);
+        t.push_row(vec!["1,5".into(), "he said \"hi\"".into()]);
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().next().unwrap(), "a,b");
+        assert!(text.contains("\"1,5\""));
+        assert!(text.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn json_serialization_works() {
+        #[derive(Serialize)]
+        struct Artifact {
+            id: &'static str,
+            gaps: Vec<f64>,
+        }
+        let json = to_json(&Artifact {
+            id: "fig12_1",
+            gaps: vec![1.0, 2.0],
+        })
+        .unwrap();
+        assert!(json.contains("fig12_1"));
+    }
+}

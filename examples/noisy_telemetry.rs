@@ -1,0 +1,62 @@
+//! Choosing servers by noisy telemetry.
+//!
+//! Scenario (the paper's introduction, question 3): the balancer compares
+//! two servers' reported queue lengths, but each report carries Gaussian
+//! measurement noise of scale σ (sampling error, clock skew, smoothing).
+//! The `σ-Noisy-Load` process models exactly this; the paper bounds its
+//! gap polynomially in σ and polylogarithmically in n.
+//!
+//! This example sweeps σ and compares the empirical gap against the
+//! paper's lower and upper growth terms (Propositions 10.1 and 11.5), and
+//! also cross-checks the paper's Eq. (2.1) model against a literal
+//! Gaussian-perturbation implementation.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example noisy_telemetry
+//! ```
+
+use noisy_balance::analysis::bounds::{noisy_load_lower, noisy_load_upper};
+use noisy_balance::core::{LoadState, Process, Rng, TwoChoice};
+use noisy_balance::noise::{GaussianLoadDecider, SigmaNoisyLoad};
+
+fn main() {
+    let n = 5_000;
+    let m = 200 * n as u64;
+    println!("n = {n}, m = {m}\n");
+    println!(
+        "{:>6} {:>16} {:>18} {:>12} {:>12}",
+        "σ", "gap (Eq. 2.1)", "gap (true Gauss)", "lower term", "upper term"
+    );
+    println!("{}", "-".repeat(70));
+
+    for sigma in [1.0f64, 2.0, 4.0, 8.0, 16.0, 32.0] {
+        let mut eq21 = LoadState::new(n);
+        let mut rng = Rng::from_seed(123);
+        SigmaNoisyLoad::new(sigma).run(&mut eq21, m, &mut rng);
+
+        let mut gauss = LoadState::new(n);
+        let mut rng = Rng::from_seed(123);
+        TwoChoice::new(GaussianLoadDecider::new(sigma)).run(&mut gauss, m, &mut rng);
+
+        println!(
+            "{:>6} {:>16.2} {:>18.2} {:>12.2} {:>12.2}",
+            sigma,
+            eq21.gap(),
+            gauss.gap(),
+            noisy_load_lower(n as u64, sigma),
+            noisy_load_upper(n as u64, sigma),
+        );
+    }
+
+    println!();
+    println!("Reading the table:");
+    println!(" * Both σ-Noisy-Load formulations (the paper's Eq. 2.1 Bernoulli model and");
+    println!("   literal N(0,σ²) perturbations) give nearly identical gaps — the");
+    println!("   reduction the paper sketches in Section 2.");
+    println!(" * The gap grows polynomially in σ but stays far below the upper growth");
+    println!("   term σ·√(log n)·log(nσ) — the theory constants are generous.");
+    println!(" * Even σ = 32 (noise dwarfing typical queue differences) costs only a");
+    println!("   bounded gap independent of m: noisy comparisons beat One-Choice.");
+}

@@ -1,0 +1,60 @@
+//! A load balancer with stale health reports.
+//!
+//! Scenario (the paper's introduction, question 1): a fleet of `n` web
+//! servers sits behind a two-choice load balancer. Servers publish their
+//! queue length to a metrics bus, but reports are **batched** — every
+//! server's number is refreshed only at scrape boundaries (`b-Batch`), or
+//! arrives asynchronously with a bounded delay (`τ-Delay`). How uneven do
+//! the queues get as staleness grows?
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example stale_load_balancer
+//! ```
+
+use noisy_balance::analysis::bounds::batch_gap;
+use noisy_balance::core::{LoadState, Process, Rng};
+use noisy_balance::noise::{Batched, DelayStrategy, Delayed};
+
+fn main() {
+    let n = 5_000; // servers
+    let requests = 200 * n as u64;
+    println!("routing m = {requests} requests across n = {n} servers\n");
+    println!(
+        "{:<22} {:>14} {:>14} {:>16}",
+        "staleness", "b-Batch gap", "τ-Delay gap", "theory Θ-term"
+    );
+    println!("{}", "-".repeat(70));
+
+    // Staleness from "almost live" to "one full scrape interval per server
+    // fleet" and beyond.
+    for staleness in [1u64, 50, 500, 5_000, 50_000] {
+        let mut batched_state = LoadState::new(n);
+        let mut rng = Rng::from_seed(7);
+        Batched::new(staleness).run(&mut batched_state, requests, &mut rng);
+
+        let mut delayed_state = LoadState::new(n);
+        let mut rng = Rng::from_seed(7);
+        Delayed::new(staleness, DelayStrategy::Stalest).run(&mut delayed_state, requests, &mut rng);
+
+        println!(
+            "{:<22} {:>14.2} {:>14.2} {:>16.2}",
+            format!("b = τ = {staleness}"),
+            batched_state.gap(),
+            delayed_state.gap(),
+            batch_gap(n as u64, staleness),
+        );
+    }
+
+    println!();
+    println!("Reading the table:");
+    println!(" * Staleness below ~n/10 is essentially free: the gap stays near the");
+    println!("   noiseless Two-Choice value (Remark 10.6: O(log log n) for b = n^(1-ε)).");
+    println!(" * Around b = n the gap rises to Θ(log n/log log n) (Theorem 10.2) —");
+    println!("   the same as One-Choice with b balls (Observation 11.6).");
+    println!(" * Batched (synchronized) and delayed (asynchronous) staleness behave");
+    println!("   alike — resetting all reports at once is not what matters (Cor 10.4).");
+    println!(" * Practical rule: keep the scrape interval below the fleet size and");
+    println!("   two-choice routing survives stale metrics.");
+}

@@ -1,0 +1,155 @@
+//! Cross-crate equivalence tests: every noise setting degenerates to the
+//! right baseline at its trivial parameter, exactly as the paper states in
+//! Section 2.
+
+use noisy_balance::core::{LoadState, PerfectDecider, Process, Rng, TieBreak, TwoChoice};
+use noisy_balance::noise::{
+    AdvComp, AdvLoad, Batched, ConstantRho, DelayStrategy, Delayed, GBounded, NoisyComp,
+    PerturbStrategy, ReverseAll,
+};
+use noisy_balance::processes::OneChoice;
+
+const N: usize = 128;
+const M: u64 = 10_000;
+
+fn run_loads(mut p: impl Process, seed: u64) -> Vec<u64> {
+    let mut state = LoadState::new(N);
+    let mut rng = Rng::from_seed(seed);
+    p.run(&mut state, M, &mut rng);
+    state.loads().to_vec()
+}
+
+#[test]
+fn g_zero_bounded_is_two_choice() {
+    // g = 0: the adversary only controls exact ties and resolves them the
+    // same way as the classic process — identical allocation streams.
+    assert_eq!(
+        run_loads(GBounded::new(0), 1),
+        run_loads(TwoChoice::classic(), 1)
+    );
+}
+
+#[test]
+fn tau_one_delay_is_two_choice() {
+    for strategy in [DelayStrategy::Freshest, DelayStrategy::AdversarialFlip] {
+        assert_eq!(
+            run_loads(Delayed::new(1, strategy), 2),
+            run_loads(TwoChoice::classic(), 2),
+            "strategy {strategy:?}"
+        );
+    }
+}
+
+#[test]
+fn b_one_batch_is_two_choice_with_random_ties() {
+    assert_eq!(
+        run_loads(Batched::new(1), 3),
+        run_loads(TwoChoice::classic_random_ties(), 3)
+    );
+}
+
+#[test]
+fn adv_load_zero_budget_is_two_choice() {
+    // g = 0 in g-Adv-Load: estimates are exact. With the Reverse strategy,
+    // a "reversal window" of 2·g = 0 still covers exact ties, matching the
+    // classic tie-handling only when loads differ; compare distributions
+    // via the final gap instead of streams for the tie-handling delta.
+    let a = run_loads(
+        TwoChoice::new(AdvLoad::new(0, PerturbStrategy::Uniform)),
+        4,
+    );
+    let b = run_loads(TwoChoice::classic(), 4);
+    // Uniform perturbation with g = 0 compares true loads but breaks ties
+    // randomly (consuming RNG), so streams may differ; totals must match
+    // and gaps must be in the same tight band.
+    let max_a = *a.iter().max().unwrap() as f64;
+    let max_b = *b.iter().max().unwrap() as f64;
+    assert_eq!(a.iter().sum::<u64>(), b.iter().sum::<u64>());
+    assert!((max_a - max_b).abs() <= 3.0, "max loads {max_a} vs {max_b}");
+}
+
+#[test]
+fn rho_one_noisy_comp_matches_perfect_decisions() {
+    // On every pair of distinct loads the ρ ≡ 1 decider picks the lighter
+    // bin, exactly like the perfect comparison.
+    let state = LoadState::from_loads(vec![7, 3, 3, 0, 9, 1, 1, 4]);
+    let mut noisy = NoisyComp::new(ConstantRho::new(1.0));
+    let mut perfect = PerfectDecider::new(TieBreak::FirstSample);
+    let mut rng = Rng::from_seed(5);
+    for i1 in 0..state.n() {
+        for i2 in 0..state.n() {
+            if state.load(i1) == state.load(i2) {
+                continue;
+            }
+            use noisy_balance::core::Decider;
+            assert_eq!(
+                noisy.decide(&state, i1, i2, &mut rng),
+                perfect.decide(&state, i1, i2, &mut rng)
+            );
+        }
+    }
+}
+
+#[test]
+fn rho_half_noisy_comp_behaves_like_one_choice() {
+    // ρ ≡ ½: every comparison is a fair coin — One-Choice in distribution.
+    // Compare mean gaps across several seeds.
+    let runs = 10;
+    let mean_gap = |factory: &dyn Fn() -> Box<dyn Process>| -> f64 {
+        let mut total = 0.0;
+        for seed in 0..runs {
+            let mut state = LoadState::new(N);
+            let mut rng = Rng::from_seed(100 + seed);
+            factory().run(&mut state, M, &mut rng);
+            total += state.gap();
+        }
+        total / runs as f64
+    };
+    let coin = mean_gap(&|| Box::new(TwoChoice::new(NoisyComp::new(ConstantRho::new(0.5)))));
+    let one = mean_gap(&|| Box::new(OneChoice::new()));
+    assert!(
+        (coin - one).abs() < 0.35 * one,
+        "ρ≡½ mean gap {coin} should be close to One-Choice {one}"
+    );
+}
+
+#[test]
+fn adv_load_reverse_is_sandwiched_by_adv_comp() {
+    // g-Adv-Load (reversing) behaves like (2g)-Adv-Comp with ReverseAll
+    // on non-tied pairs: equality of decisions was tested in the noise
+    // crate; here check the end-to-end gap matches within noise.
+    let g = 4u64;
+    let a = run_loads(
+        TwoChoice::new(AdvLoad::new(g, PerturbStrategy::Reverse)),
+        6,
+    );
+    let b = run_loads(TwoChoice::new(AdvComp::new(2 * g, ReverseAll)), 6);
+    let gap = |loads: &[u64]| *loads.iter().max().unwrap() as f64 - M as f64 / N as f64;
+    assert!(
+        (gap(&a) - gap(&b)).abs() <= 4.0,
+        "gaps {} vs {} should be close",
+        gap(&a),
+        gap(&b)
+    );
+}
+
+#[test]
+fn processes_allocate_exactly_m_balls() {
+    // Every process conserves balls (Σ loads = m).
+    let processes: Vec<Box<dyn Process>> = vec![
+        Box::new(TwoChoice::classic()),
+        Box::new(OneChoice::new()),
+        Box::new(GBounded::new(3)),
+        Box::new(Batched::new(37)),
+        Box::new(Delayed::new(17, DelayStrategy::RandomInWindow)),
+        Box::new(TwoChoice::new(NoisyComp::new(ConstantRho::new(0.7)))),
+        Box::new(TwoChoice::new(AdvLoad::new(2, PerturbStrategy::Uniform))),
+    ];
+    for mut p in processes {
+        let mut state = LoadState::new(N);
+        let mut rng = Rng::from_seed(8);
+        p.run(&mut state, M, &mut rng);
+        assert_eq!(state.loads().iter().sum::<u64>(), M);
+        assert_eq!(state.balls(), M);
+    }
+}

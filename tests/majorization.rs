@@ -1,0 +1,133 @@
+//! Statistical majorization tests (the paper's Lemma A.13 and
+//! Observation 11.1).
+//!
+//! If process P's probability allocation vector majorizes process Q's at
+//! every step, then P's sorted load vector stochastically majorizes Q's.
+//! These tests check the *average* sorted prefix sums over many seeds —
+//! a statistical shadow of the coupling argument that drives the paper's
+//! generic lower bound (Observation 11.1).
+
+use noisy_balance::core::probability::{
+    majorizes, one_choice_vector, one_plus_beta_vector, two_choice_vector,
+};
+use noisy_balance::core::{LoadState, Process, Rng, TwoChoice};
+use noisy_balance::noise::{GBounded, GMyopic};
+use noisy_balance::processes::{OneChoice, OnePlusBeta};
+
+/// Average sorted (descending) load vector of `process` over `runs` seeds.
+fn mean_sorted_loads(
+    factory: impl Fn() -> Box<dyn Process>,
+    n: usize,
+    m: u64,
+    runs: u64,
+    seed0: u64,
+) -> Vec<f64> {
+    let mut acc = vec![0.0f64; n];
+    for r in 0..runs {
+        let mut state = LoadState::new(n);
+        let mut rng = Rng::from_seed(seed0 + r);
+        factory().run(&mut state, m, &mut rng);
+        for (i, &x) in state.sorted_loads_desc().iter().enumerate() {
+            acc[i] += x as f64;
+        }
+    }
+    for v in acc.iter_mut() {
+        *v /= runs as f64;
+    }
+    acc
+}
+
+/// Checks that `a`'s prefix sums dominate `b`'s within additive `slack`.
+fn prefix_dominates(a: &[f64], b: &[f64], slack: f64) -> bool {
+    let mut sa = 0.0;
+    let mut sb = 0.0;
+    a.iter().zip(b).all(|(x, y)| {
+        sa += x;
+        sb += y;
+        sa + slack >= sb
+    })
+}
+
+#[test]
+fn allocation_vector_majorization_chain() {
+    // The driver of Lemma A.13: One-Choice ⪰ (1+β) ⪰ Two-Choice as
+    // probability vectors, for every n and β.
+    for n in [8usize, 64, 512] {
+        for beta in [0.25, 0.5, 0.9] {
+            let one = one_choice_vector(n);
+            let mid = one_plus_beta_vector(n, beta);
+            let two = two_choice_vector(n);
+            assert!(majorizes(&one, &mid));
+            assert!(majorizes(&mid, &two));
+        }
+    }
+}
+
+#[test]
+fn one_choice_loads_majorize_two_choice_loads() {
+    let n = 200;
+    let m = 20 * n as u64;
+    let runs = 30;
+    let one = mean_sorted_loads(|| Box::new(OneChoice::new()), n, m, runs, 10);
+    let two = mean_sorted_loads(|| Box::new(TwoChoice::classic()), n, m, runs, 10);
+    assert!(
+        prefix_dominates(&one, &two, 1.0),
+        "one-choice sorted loads must majorize two-choice on average"
+    );
+    // Strictness at the top: the heaviest one-choice bin is clearly above.
+    assert!(one[0] > two[0] + 1.0);
+}
+
+#[test]
+fn one_plus_beta_sits_between_one_and_two_choice() {
+    let n = 200;
+    let m = 20 * n as u64;
+    let runs = 30;
+    let one = mean_sorted_loads(|| Box::new(OneChoice::new()), n, m, runs, 20);
+    let mid = mean_sorted_loads(|| Box::new(OnePlusBeta::new(0.5)), n, m, runs, 20);
+    let two = mean_sorted_loads(|| Box::new(TwoChoice::classic()), n, m, runs, 20);
+    assert!(prefix_dominates(&one, &mid, 1.0));
+    assert!(prefix_dominates(&mid, &two, 1.0));
+}
+
+#[test]
+fn noisy_processes_majorize_noiseless_two_choice() {
+    // Observation 11.1's engine: any g-Adv-Comp allocation vector is p
+    // with mass moved toward heavier bins, so its loads majorize
+    // Two-Choice's. Check for both named instances.
+    let n = 200;
+    let m = 20 * n as u64;
+    let runs = 30;
+    let two = mean_sorted_loads(|| Box::new(TwoChoice::classic()), n, m, runs, 30);
+    for (name, factory) in [
+        (
+            "g-bounded",
+            Box::new(|| Box::new(GBounded::new(4)) as Box<dyn Process>)
+                as Box<dyn Fn() -> Box<dyn Process>>,
+        ),
+        (
+            "g-myopic",
+            Box::new(|| Box::new(GMyopic::new(4)) as Box<dyn Process>),
+        ),
+    ] {
+        let noisy = mean_sorted_loads(|| factory(), n, m, runs, 30);
+        assert!(
+            prefix_dominates(&noisy, &two, 1.0),
+            "{name} loads must majorize noiseless two-choice"
+        );
+    }
+}
+
+#[test]
+fn stronger_adversary_majorizes_weaker_one() {
+    // Within g-Adv-Comp: a larger window can only push more mass up.
+    let n = 200;
+    let m = 20 * n as u64;
+    let runs = 30;
+    let weak = mean_sorted_loads(|| Box::new(GBounded::new(2)), n, m, runs, 40);
+    let strong = mean_sorted_loads(|| Box::new(GBounded::new(8)), n, m, runs, 40);
+    assert!(
+        prefix_dominates(&strong, &weak, 1.0),
+        "g = 8 loads must majorize g = 2 loads"
+    );
+}
