@@ -21,7 +21,7 @@ fn fig12_2_kernel(c: &mut Criterion) {
     }
     c.bench_function("fig12_2_point_one_choice_b", |bench| {
         let oc = RunConfig::new(N, 1_000, 13);
-        bench.iter(|| black_box(repeat(|| OneChoice::new(), oc, RUNS, 1)));
+        bench.iter(|| black_box(repeat(OneChoice::new, oc, RUNS, 1)));
     });
 }
 

@@ -23,7 +23,7 @@ fn table12_4_kernel(c: &mut Criterion) {
     c.bench_function("table12_4_cell_one_choice_n", |b| {
         let oc = RunConfig::new(N, N as u64, 5);
         b.iter(|| {
-            let results = repeat(|| OneChoice::new(), oc, RUNS, 1);
+            let results = repeat(OneChoice::new, oc, RUNS, 1);
             black_box(GapDistribution::from_results(&results))
         });
     });

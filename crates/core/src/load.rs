@@ -221,7 +221,7 @@ impl LoadState {
     #[must_use]
     pub fn integer_gap(&self) -> Option<i64> {
         let n = self.loads.len() as u64;
-        if self.balls % n == 0 {
+        if self.balls.is_multiple_of(n) {
             Some(self.max_load as i64 - (self.balls / n) as i64)
         } else {
             None

@@ -316,7 +316,7 @@ mod tests {
 
         // Monte-Carlo estimate of the same distribution.
         let mut rng = Rng::from_seed(5);
-        let mut counts = vec![0u64; 4];
+        let mut counts = [0u64; 4];
         let trials = 200_000;
         let mut dec = PerfectDecider::new(TieBreak::Random);
         for _ in 0..trials {

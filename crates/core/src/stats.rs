@@ -269,7 +269,7 @@ mod tests {
         // Deterministic "noise".
         let y: Vec<f64> = x
             .iter()
-            .map(|v| 2.0 * v + if (*v as u64) % 2 == 0 { 20.0 } else { -20.0 })
+            .map(|v| 2.0 * v + if (*v as u64).is_multiple_of(2) { 20.0 } else { -20.0 })
             .collect();
         let (_, _, r2) = linear_fit(&x, &y);
         assert!(r2 < 0.97, "noisy fit should have lower r²: {r2}");

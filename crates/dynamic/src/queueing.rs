@@ -179,7 +179,7 @@ impl Supermarket {
     pub fn step(&mut self, rng: &mut Rng) {
         let n = self.queues.n();
         if let JoinPolicy::TwoChoiceStale { update_period } = self.policy {
-            if self.metrics.slots % update_period == 0 {
+            if self.metrics.slots.is_multiple_of(update_period) {
                 self.snapshot.copy_from_slice(self.queues.loads());
             }
         }

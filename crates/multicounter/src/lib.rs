@@ -162,7 +162,7 @@ impl CachedHandle<'_> {
     /// Increments the shared counter, comparing against the private
     /// snapshot (refreshing it first every `refresh_every` operations).
     pub fn increment(&mut self) {
-        if self.ops % self.refresh_every == 0 {
+        if self.ops.is_multiple_of(self.refresh_every) {
             self.snapshot = self.counter.cells();
         }
         self.ops += 1;

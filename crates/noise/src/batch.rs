@@ -119,7 +119,7 @@ impl Process for Batched {
             self.since_snapshot.clear();
             self.snapshot_balls = state.balls();
             self.initialized = true;
-        } else if state.balls() % self.b == 0 {
+        } else if state.balls().is_multiple_of(self.b) {
             self.refresh_snapshot();
             self.snapshot_balls = state.balls();
             // Balanced external modifications (equal numbers of foreign
@@ -231,8 +231,8 @@ mod tests {
         // Next allocation starts batch 2: snapshot = loads after b balls.
         let loads_after_b = state.loads().to_vec();
         process.allocate(&mut state, &mut rng);
-        for i in 0..n {
-            assert_eq!(process.reported_load(i), loads_after_b[i]);
+        for (i, &expected) in loads_after_b.iter().enumerate() {
+            assert_eq!(process.reported_load(i), expected);
         }
     }
 

@@ -190,10 +190,10 @@ mod tests {
     fn event_k_detects_safe_and_unsafe_states() {
         // Bin 0 is far above z−1; give it tiny probability → K holds.
         let state = LoadState::from_loads(vec![40, 0, 0, 0]); // avg 10
-        let phi = 4.0;
+        let phi = 4.0f64;
         let z = 5.0;
         let n = 4.0;
-        let safe = vec![(-phi as f64).exp() / n, 0.4, 0.3, 0.3 - (-phi as f64).exp() / n];
+        let safe = vec![(-phi).exp() / n, 0.4, 0.3, 0.3 - (-phi).exp() / n];
         assert!(event_k_holds(&state, &safe, phi, z));
         // Give the overloaded bin large probability → K fails.
         let unsafe_probs = vec![0.5, 0.2, 0.2, 0.1];

@@ -188,7 +188,7 @@ mod tests {
     #[test]
     fn paper_style_matches_table_format() {
         let d = GapDistribution::from_gaps(
-            std::iter::repeat(24).take(37).chain(std::iter::repeat(25).take(63)),
+            std::iter::repeat_n(24, 37).chain(std::iter::repeat_n(25, 63)),
         );
         assert_eq!(d.paper_style(), "24 : 37%\n25 : 63%");
     }

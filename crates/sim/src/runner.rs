@@ -265,7 +265,7 @@ mod tests {
     #[test]
     fn run_allocates_m_balls() {
         let r = run(&mut TwoChoice::classic(), RunConfig::new(50, 5_000, 1));
-        assert_eq!(r.integer_gap.is_some(), true); // 5000 divisible by 50
+        assert!(r.integer_gap.is_some()); // 5000 divisible by 50
         assert!(r.max_load >= 100); // avg is 100
         assert!(r.min_load <= 100);
     }
@@ -304,15 +304,15 @@ mod tests {
     #[test]
     fn parallel_equals_sequential() {
         let base = RunConfig::new(64, 2_000, 123);
-        let seq = repeat(|| TwoChoice::classic(), base, 12, 1);
-        let par = repeat(|| TwoChoice::classic(), base, 12, 4);
+        let seq = repeat(TwoChoice::classic, base, 12, 1);
+        let par = repeat(TwoChoice::classic, base, 12, 4);
         assert_eq!(seq, par);
     }
 
     #[test]
     fn repeat_uses_derived_seeds() {
         let base = RunConfig::new(32, 500, 55);
-        let results = repeat(|| TwoChoice::classic(), base, 3, 1);
+        let results = repeat(TwoChoice::classic, base, 3, 1);
         for (i, r) in results.iter().enumerate() {
             assert_eq!(r.config.seed, run_seed(55, i as u64));
         }
@@ -330,13 +330,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one run")]
     fn zero_runs_rejected() {
-        let _ = repeat(|| TwoChoice::classic(), RunConfig::new(4, 4, 0), 0, 1);
+        let _ = repeat(TwoChoice::classic, RunConfig::new(4, 4, 0), 0, 1);
     }
 
     #[test]
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
-        let _ = repeat(|| TwoChoice::classic(), RunConfig::new(4, 4, 0), 1, 0);
+        let _ = repeat(TwoChoice::classic, RunConfig::new(4, 4, 0), 1, 0);
     }
 
     #[test]

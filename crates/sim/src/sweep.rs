@@ -136,7 +136,7 @@ mod tests {
     #[test]
     fn sweep_point_aggregates() {
         let base = RunConfig::new(64, 1_000, 5);
-        let results = repeat(|| TwoChoice::classic(), base, 6, 1);
+        let results = repeat(TwoChoice::classic, base, 6, 1);
         let point = SweepPoint::from_results(1.0, results.clone());
         assert_eq!(point.results.len(), 6);
         assert!(point.min_gap <= point.mean_gap && point.mean_gap <= point.max_gap);

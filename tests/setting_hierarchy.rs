@@ -24,7 +24,7 @@ fn adv_comp_simulates_g_bounded() {
     let state = test_state();
     let mut rng = Rng::from_seed(1);
     let mut generic = AdvComp::new(3, ReverseAll);
-    let mut named = GBounded::new(3);
+    let named = GBounded::new(3);
     for i1 in 0..state.n() {
         for i2 in 0..state.n() {
             let mut s1 = state.clone();

@@ -17,7 +17,7 @@ fn two_choice_gap_independent_of_m() {
     let n = 4_000;
     let gap_at = |bpb: u64| {
         let results = repeat(
-            || TwoChoice::classic(),
+            TwoChoice::classic,
             RunConfig::per_bin(n, bpb, 11),
             10,
             4,
@@ -37,7 +37,7 @@ fn two_choice_gap_independent_of_m() {
 fn one_choice_gap_grows_with_m_like_sqrt() {
     let n = 4_000;
     let gap_at = |bpb: u64| {
-        let results = repeat(|| OneChoice::new(), RunConfig::per_bin(n, bpb, 13), 10, 4);
+        let results = repeat(OneChoice::new, RunConfig::per_bin(n, bpb, 13), 10, 4);
         results.iter().map(|r| r.gap).sum::<f64>() / results.len() as f64
     };
     let g25 = gap_at(25);
@@ -111,7 +111,7 @@ fn fig12_2_shape_batch_tracks_one_choice_beyond_n() {
         );
         batch_gaps.push(results.iter().map(|r| r.gap).sum::<f64>() / results.len() as f64);
         let oc = repeat(
-            || OneChoice::new(),
+            OneChoice::new,
             RunConfig::new(n, b, 119 + j as u64),
             10,
             4,
@@ -185,7 +185,7 @@ fn first_batch_equals_one_choice_distribution() {
     let n = 1_000usize;
     let b = 10_000u64;
     let batch = repeat(|| Batched::new(b), RunConfig::new(n, b, 31), 15, 4);
-    let one = repeat(|| OneChoice::new(), RunConfig::new(n, b, 131), 15, 4);
+    let one = repeat(OneChoice::new, RunConfig::new(n, b, 131), 15, 4);
     let bm = batch.iter().map(|r| r.max_load as f64).sum::<f64>() / 15.0;
     let om = one.iter().map(|r| r.max_load as f64).sum::<f64>() / 15.0;
     assert!(

@@ -1,0 +1,125 @@
+//! Vendored, dependency-free stand-in for the `criterion` bench harness.
+//!
+//! Implements the subset the workspace's benches use — [`Criterion`],
+//! `bench_function`, `Bencher::iter`, [`criterion_group!`], and
+//! [`criterion_main!`] — with wall-clock timing and mean/min/max reporting.
+//! Like the real criterion, running under `cargo test` (no `--bench` flag
+//! on the command line) executes each benchmark body exactly once as a
+//! smoke test.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing away a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// The benchmark driver: collects samples and prints a summary per
+/// benchmark.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench targets with `--bench`; `cargo test` does not.
+        let test_mode = !std::env::args().any(|a| a == "--bench");
+        Self {
+            sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: if self.test_mode { 1 } else { self.sample_size },
+        };
+        routine(&mut bencher);
+        if self.test_mode {
+            println!("test-mode bench {name}: ok");
+        } else {
+            report(name, &bencher.samples);
+        }
+        self
+    }
+}
+
+/// Timer handle passed to each benchmark routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: usize,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters_per_sample {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("non-empty");
+    let max = samples.iter().max().expect("non-empty");
+    println!(
+        "{name:<40} mean {:>12?}  min {:>12?}  max {:>12?}  ({} samples)",
+        mean,
+        min,
+        max,
+        samples.len()
+    );
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

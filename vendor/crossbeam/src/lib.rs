@@ -1,0 +1,51 @@
+//! Vendored, dependency-free subset of `crossbeam`.
+//!
+//! The workspace only uses [`utils::CachePadded`]; this stub provides a
+//! drop-in definition so the offline build needs no registry access.
+
+/// Miscellaneous concurrency utilities (subset).
+pub mod utils {
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to the length of a cache line, preventing
+    /// false sharing between adjacent values on different cores.
+    ///
+    /// 128 bytes covers the common cases: x86-64 prefetches cache lines in
+    /// pairs, and Apple/ARM big cores use 128-byte lines.
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Pads and aligns a value to the length of a cache line.
+        pub const fn new(value: T) -> Self {
+            Self { value }
+        }
+
+        /// Returns the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            Self::new(value)
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Vendored, dependency-free `#[derive(Serialize, Deserialize)]`.
+//!
+//! Supports exactly the shapes this workspace derives on: non-generic
+//! structs with named fields (and unit-only enums, serialized as the
+//! variant-name string). Parsing is done directly on the `proc_macro`
+//! token stream — no `syn`/`quote`, since the build is fully offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` for a named-field struct or a
+/// unit-only enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push((\"{f}\".to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\n\
+                         ::serde::Value::Object(__fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"))
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derived Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` for a named-field struct or a
+/// unit-only enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(__value.get(\"{f}\"))\
+                         .map_err(|e| ::serde::Error::custom(format!(\
+                             \"{name}.{f}: {{e}}\")))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if __value.as_object().is_none() {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"expected object for {name}\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __value {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"expected string for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derived Deserialize impl parses")
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Parses a derive input down to the names we need. Panics (compile error)
+/// on shapes the stub does not support — tuple structs, generics, enums
+/// with payloads.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`, including expanded doc comments)
+    // and visibility/qualifier keywords until `struct` or `enum`.
+    let mut kind = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // `#` + `[...]`
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kind = Some(s);
+                    i += 1;
+                    break;
+                }
+                i += 1; // `pub`, `crate`, etc.
+            }
+            TokenTree::Group(_) => i += 1, // `pub(crate)` visibility group
+            _ => i += 1,
+        }
+    }
+    let kind = kind.expect("derive input must be a struct or enum");
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found `{other}`"),
+    };
+    i += 1;
+
+    // Find the body: the brace-delimited group. Anything between the name
+    // and the body (generics, where clauses) is unsupported.
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("vendored serde derive does not support generic types")
+            }
+            Some(_) => i += 1,
+            None => panic!("vendored serde derive requires a braced body (no tuple structs)"),
+        }
+    };
+
+    if kind == "struct" {
+        Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        }
+    } else {
+        Item::Enum {
+            name,
+            variants: parse_unit_variants(body),
+        }
+    }
+}
+
+/// Extracts field names from `field: Type, ...`, tracking `<...>` depth so
+/// commas inside generic arguments (e.g. `BTreeMap<i64, usize>`) do not
+/// split a field.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes and doc comments.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        // Skip visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        // Consume the type up to a top-level comma.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Extracts variant names from a unit-only enum body.
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                variants.push(id.to_string());
+                i += 1;
+            }
+            None => break,
+            Some(other) => panic!("expected enum variant, found `{other}`"),
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => break,
+            Some(_) => panic!("vendored serde derive supports unit-only enums"),
+        }
+    }
+    variants
+}
