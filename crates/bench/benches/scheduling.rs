@@ -1,0 +1,118 @@
+//! Scheduling benchmark: the pre-workpool execution layer versus the
+//! flattened work-stealing grid.
+//!
+//! The legacy scheduler (reproduced below verbatim) parallelized only
+//! *within* one sweep point — an atomic ticket queue over `runs` tasks with
+//! a `Mutex<Vec<Option<RunResult>>>` result sink, and a hard barrier between
+//! points. With few repetitions per point (`runs < threads`, the common
+//! case while iterating on a figure) most cores idle. The workpool grid
+//! flattens `params × runs` into one task set, so the pool stays saturated
+//! until the last task.
+//!
+//! Run with `cargo bench -p balloc-bench --bench scheduling`; the workload
+//! is sized so `runs < threads` on typical machines (8 points × 3 runs).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use balloc_core::rng::{point_seed, run_seed};
+use balloc_core::Process;
+use balloc_noise::GBounded;
+use balloc_sim::{run, sweep, RunConfig, RunResult, SweepPoint};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const N: usize = 2_000;
+const BALLS_PER_BIN: u64 = 20;
+const PARAMS: [f64; 8] = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+const RUNS: usize = 3;
+
+fn threads() -> usize {
+    workpool::Pool::with_available_parallelism().threads()
+}
+
+fn base() -> RunConfig {
+    RunConfig::new(N, BALLS_PER_BIN * N as u64, 2022)
+}
+
+/// The scheduler `balloc_sim::repeat` shipped before workpool: one shared
+/// ticket counter, per-run mutex-locked writes into the result vector.
+fn legacy_repeat<P, F>(factory: F, base: RunConfig, runs: usize, threads: usize) -> Vec<RunResult>
+where
+    P: Process,
+    F: Fn() -> P + Sync,
+{
+    let threads = threads.min(runs);
+    if threads == 1 {
+        return (0..runs)
+            .map(|i| {
+                let mut process = factory();
+                run(&mut process, base.with_seed(run_seed(base.seed, i as u64)))
+            })
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<RunResult>>> = Mutex::new(vec![None; runs]);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= runs {
+                    break;
+                }
+                let mut process = factory();
+                let result = run(&mut process, base.with_seed(run_seed(base.seed, i as u64)));
+                results.lock().expect("legacy mutex poisoned")[i] = Some(result);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("legacy mutex poisoned")
+        .into_iter()
+        .map(|r| r.expect("all runs completed"))
+        .collect()
+}
+
+/// The legacy sweep: a sequential loop over points, each with its own
+/// thread team and a barrier in between. Seed derivation matches the new
+/// sweep so both schedulers compute the identical task set.
+fn legacy_sweep(threads: usize) -> Vec<SweepPoint> {
+    PARAMS
+        .iter()
+        .enumerate()
+        .map(|(j, &g)| {
+            let point_base = base().with_seed(point_seed(base().seed, j as u64));
+            let results = legacy_repeat(|| GBounded::new(g as u64), point_base, RUNS, threads);
+            SweepPoint::from_results(g, results)
+        })
+        .collect()
+}
+
+fn grid_sweep(threads: usize) -> Vec<SweepPoint> {
+    sweep(&PARAMS, |g| GBounded::new(g as u64), base(), RUNS, threads)
+}
+
+fn scheduling(c: &mut Criterion) {
+    let threads = threads();
+    // Both schedulers must produce byte-identical results — the benchmark
+    // only makes sense if they do the same work.
+    assert_eq!(legacy_sweep(threads), grid_sweep(threads));
+
+    c.bench_function("sweep_legacy_per_point", |b| {
+        b.iter(|| black_box(legacy_sweep(threads)))
+    });
+    c.bench_function("sweep_workstealing_grid", |b| {
+        b.iter(|| black_box(grid_sweep(threads)))
+    });
+    c.bench_function("sweep_sequential_reference", |b| {
+        b.iter(|| black_box(grid_sweep(1)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = scheduling
+}
+criterion_main!(benches);

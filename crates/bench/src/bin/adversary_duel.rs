@@ -6,7 +6,7 @@
 //! the named instances (`g-Bounded` = greedy, `g-Myopic-Comp` = random)
 //! sit from weaker and stronger-looking policies.
 
-use balloc_bench::{fmt3, print_header, save_json, CommonArgs};
+use balloc_bench::{experiment_seed, fmt3, print_header, save_json, CommonArgs};
 use balloc_core::TwoChoice;
 use balloc_noise::{
     AdvComp, CorrectAll, OverloadSeeking, ReverseAll, ReverseWithProbability, UniformRandom,
@@ -40,7 +40,11 @@ fn main() {
 
     let mut mean_gaps: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
     for (j, &g) in g_values.iter().enumerate() {
-        let base = RunConfig::new(args.n, args.m(), args.seed.wrapping_add(j as u64 * 31));
+        let base = RunConfig::new(
+            args.n,
+            args.m(),
+            balloc_core::rng::point_seed(experiment_seed("adversary_duel", args.seed), j as u64),
+        );
         let gaps_for = |s: usize| -> f64 {
             let results = match s {
                 0 => repeat(

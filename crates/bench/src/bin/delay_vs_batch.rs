@@ -7,9 +7,9 @@
 //! strategies) across τ = b around n.
 
 use balloc_analysis::bounds::batch_gap;
-use balloc_bench::{fmt3, print_header, save_json, CommonArgs};
+use balloc_bench::{experiment_seed, fmt3, print_header, save_json, CommonArgs};
 use balloc_noise::{Batched, DelayStrategy, Delayed};
-use balloc_sim::{repeat, RunConfig, SweepPoint, TextTable};
+use balloc_sim::{sweep, RunConfig, SweepPoint, TextTable};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -34,45 +34,39 @@ fn main() {
         .filter(|&t| t >= 1 && t <= args.m())
         .collect();
 
-    let mut batch = Vec::new();
-    let mut stalest = Vec::new();
-    let mut flip = Vec::new();
-    let mut random = Vec::new();
-
-    for (j, &tau) in taus.iter().enumerate() {
-        let base = RunConfig::new(args.n, args.m(), args.seed.wrapping_add(j as u64 * 10));
-        batch.push(SweepPoint::from_results(
-            tau as f64,
-            repeat(|| Batched::new(tau), base, args.runs, args.threads),
-        ));
-        stalest.push(SweepPoint::from_results(
-            tau as f64,
-            repeat(
-                || Delayed::new(tau, DelayStrategy::Stalest),
-                base.with_seed(base.seed + 1),
-                args.runs,
-                args.threads,
-            ),
-        ));
-        flip.push(SweepPoint::from_results(
-            tau as f64,
-            repeat(
-                || Delayed::new(tau, DelayStrategy::AdversarialFlip),
-                base.with_seed(base.seed + 2),
-                args.runs,
-                args.threads,
-            ),
-        ));
-        random.push(SweepPoint::from_results(
-            tau as f64,
-            repeat(
-                || Delayed::new(tau, DelayStrategy::RandomInWindow),
-                base.with_seed(base.seed + 3),
-                args.runs,
-                args.threads,
-            ),
-        ));
-    }
+    // Each arm schedules its full τ × runs grid as one task set on the
+    // work-stealing pool; arm base seeds only need to differ (point_seed
+    // decorrelates even adjacent bases).
+    let tau_params: Vec<f64> = taus.iter().map(|&t| t as f64).collect();
+    let base = RunConfig::new(args.n, args.m(), experiment_seed("delay_vs_batch/batch", args.seed));
+    let batch = sweep(
+        &tau_params,
+        |t| Batched::new(t as u64),
+        base,
+        args.runs,
+        args.threads,
+    );
+    let stalest = sweep(
+        &tau_params,
+        |t| Delayed::new(t as u64, DelayStrategy::Stalest),
+        base.with_seed(experiment_seed("delay_vs_batch/stalest", args.seed)),
+        args.runs,
+        args.threads,
+    );
+    let flip = sweep(
+        &tau_params,
+        |t| Delayed::new(t as u64, DelayStrategy::AdversarialFlip),
+        base.with_seed(experiment_seed("delay_vs_batch/flip", args.seed)),
+        args.runs,
+        args.threads,
+    );
+    let random = sweep(
+        &tau_params,
+        |t| Delayed::new(t as u64, DelayStrategy::RandomInWindow),
+        base.with_seed(experiment_seed("delay_vs_batch/random", args.seed)),
+        args.runs,
+        args.threads,
+    );
 
     let mut table = TextTable::new(vec![
         "tau = b".into(),

@@ -10,7 +10,7 @@
 //! grows sublinearly and sits below both.
 
 use balloc_analysis::fit::{fit_against, is_monotone_nondecreasing};
-use balloc_bench::{fmt3, print_header, save_json, CommonArgs};
+use balloc_bench::{experiment_seed, fmt3, print_header, save_json, CommonArgs};
 use balloc_noise::{GBounded, GMyopic, SigmaNoisyLoad};
 use balloc_sim::{sweep, RunConfig, SweepPoint, TextTable};
 use serde::Serialize;
@@ -31,7 +31,7 @@ fn main() {
     print_header("F12.1", "average gap vs noise parameter", &args);
 
     let params: Vec<f64> = (1..=20).map(f64::from).collect();
-    let base = RunConfig::new(args.n, args.m(), args.seed);
+    let base = RunConfig::new(args.n, args.m(), experiment_seed("fig12_1/bounded", args.seed));
 
     let bounded = sweep(
         &params,
@@ -43,14 +43,14 @@ fn main() {
     let myopic = sweep(
         &params,
         |g| GMyopic::new(g as u64),
-        base.with_seed(args.seed + 1_000),
+        base.with_seed(experiment_seed("fig12_1/myopic", args.seed)),
         args.runs,
         args.threads,
     );
     let noisy = sweep(
         &params,
         SigmaNoisyLoad::new,
-        base.with_seed(args.seed + 2_000),
+        base.with_seed(experiment_seed("fig12_1/noisy_load", args.seed)),
         args.runs,
         args.threads,
     );

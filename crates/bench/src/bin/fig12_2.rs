@@ -10,10 +10,11 @@
 //! cross near `b = n`.
 
 use balloc_analysis::bounds::{batch_gap, one_choice_gap};
-use balloc_bench::{fmt3, print_header, save_json, CommonArgs};
+use balloc_bench::{experiment_seed, fmt3, print_header, save_json, CommonArgs};
+use balloc_core::rng::point_seed;
 use balloc_noise::Batched;
 use balloc_processes::OneChoice;
-use balloc_sim::{repeat, RunConfig, SweepPoint, TextTable};
+use balloc_sim::{repeat_grid, sweep, RunConfig, SweepPoint, TextTable};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -37,18 +38,39 @@ fn main() {
         .filter(|&b| b <= m)
         .collect();
 
-    let mut batched = Vec::new();
-    let mut one_choice = Vec::new();
-    for (j, &b) in batch_sizes.iter().enumerate() {
-        let base = RunConfig::new(args.n, m, args.seed.wrapping_add(j as u64));
-        let results = repeat(|| Batched::new(b), base, args.runs, args.threads);
-        batched.push(SweepPoint::from_results(b as f64, results));
-
-        // One-Choice with exactly b balls into the same n bins.
-        let oc_base = RunConfig::new(args.n, b, args.seed.wrapping_add(500 + j as u64));
-        let oc_results = repeat(OneChoice::new, oc_base, args.runs, args.threads);
-        one_choice.push(SweepPoint::from_results(b as f64, oc_results));
+    if batch_sizes.is_empty() {
+        println!("no batch size <= m = {m}; nothing to measure");
+        return;
     }
+
+    // Both arms flatten their full b × runs grid onto the work-stealing
+    // pool, so small-b points don't serialize behind big-b ones.
+    let batched = sweep(
+        &batch_sizes.iter().map(|&b| b as f64).collect::<Vec<_>>(),
+        |b| Batched::new(b as u64),
+        RunConfig::new(args.n, m, experiment_seed("fig12_2/batch", args.seed)),
+        args.runs,
+        args.threads,
+    );
+
+    // One-Choice with exactly b balls into the same n bins: m varies per
+    // point, so this arm schedules explicit per-point configs as one grid.
+    let oc_seed = experiment_seed("fig12_2/one_choice", args.seed);
+    let oc_configs: Vec<RunConfig> = batch_sizes
+        .iter()
+        .enumerate()
+        .map(|(j, &b)| RunConfig::new(args.n, b, point_seed(oc_seed, j as u64)))
+        .collect();
+    let one_choice: Vec<SweepPoint> = batch_sizes
+        .iter()
+        .zip(repeat_grid(
+            &oc_configs,
+            |_| OneChoice::new(),
+            args.runs,
+            args.threads,
+        ))
+        .map(|(&b, results)| SweepPoint::from_results(b as f64, results))
+        .collect();
 
     let mut table = TextTable::new(vec![
         "b".into(),

@@ -8,7 +8,7 @@
 //! binary runs `g-Bounded` to equilibrium and reports, for a ladder of
 //! offsets, how many bins exceed each — the staircase the induction climbs.
 
-use balloc_bench::{fmt3, print_header, save_json, CommonArgs};
+use balloc_bench::{experiment_seed, fmt3, print_header, save_json, CommonArgs};
 use balloc_core::{LoadState, Process, Rng};
 use balloc_noise::GBounded;
 use balloc_sim::TextTable;
@@ -44,7 +44,7 @@ fn main() {
     let mut counts = vec![0.0f64; offsets.len()];
     for r in 0..runs {
         let mut state = LoadState::new(n);
-        let mut rng = Rng::from_seed(args.seed + r as u64);
+        let mut rng = Rng::from_seed(experiment_seed("layer_decay", args.seed) + r as u64);
         GBounded::new(g).run(&mut state, args.m(), &mut rng);
         let avg = state.average();
         for (k, &z) in offsets.iter().enumerate() {

@@ -8,7 +8,7 @@
 //! refresh`.
 
 use balloc_analysis::bounds::batch_gap;
-use balloc_bench::{fmt3, print_header, save_json, CommonArgs};
+use balloc_bench::{experiment_seed, fmt3, print_header, save_json, CommonArgs};
 use balloc_core::Rng;
 use balloc_multicounter::MultiCounter;
 use balloc_sim::TextTable;
@@ -48,7 +48,7 @@ fn main() {
         std::thread::scope(|scope| {
             for t in 0..threads {
                 let counter = &counter;
-                let seed = args.seed + t;
+                let seed = experiment_seed("multicounter_quality/live", args.seed) + t;
                 scope.spawn(move || {
                     let mut rng = Rng::from_seed(seed);
                     for _ in 0..per_thread {
@@ -74,7 +74,7 @@ fn main() {
         std::thread::scope(|scope| {
             for t in 0..threads {
                 let counter = &counter;
-                let seed = args.seed + 100 + t;
+                let seed = experiment_seed("multicounter_quality/refresh", args.seed) + t;
                 scope.spawn(move || {
                     let mut handle = counter.cached_handle(refresh, seed);
                     for _ in 0..per_thread {

@@ -11,7 +11,7 @@
 
 use balloc_analysis::bounds::adv_comp_upper_sublog;
 use balloc_analysis::fit::{fit_against, mean_ratio};
-use balloc_bench::{fmt3, print_header, save_json, CommonArgs};
+use balloc_bench::{experiment_seed, fmt3, print_header, save_json, CommonArgs};
 use balloc_noise::{GBounded, GMyopic};
 use balloc_sim::{sweep, RunConfig, SweepPoint, TextTable};
 use serde::Serialize;
@@ -36,7 +36,7 @@ fn main() {
         .into_iter()
         .map(|g| g as f64)
         .collect();
-    let base = RunConfig::new(args.n, args.m(), args.seed);
+    let base = RunConfig::new(args.n, args.m(), experiment_seed("phase_transition/bounded", args.seed));
 
     let bounded = sweep(
         &params,
@@ -48,7 +48,7 @@ fn main() {
     let myopic = sweep(
         &params,
         |g| GMyopic::new(g as u64),
-        base.with_seed(args.seed + 999),
+        base.with_seed(experiment_seed("phase_transition/myopic", args.seed)),
         args.runs,
         args.threads,
     );

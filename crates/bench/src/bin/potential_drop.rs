@@ -13,7 +13,7 @@
 //! Reports the worst margins; all inequalities should hold with room to
 //! spare (the paper's constants are generous).
 
-use balloc_bench::{fmt3, print_header, save_json, CommonArgs};
+use balloc_bench::{experiment_seed, fmt3, print_header, save_json, CommonArgs};
 use balloc_core::{LoadState, Process, Rng};
 use balloc_noise::{AdvComp, ReverseAll};
 use balloc_core::TwoChoice;
@@ -67,7 +67,7 @@ fn main() {
     let decider = AdvComp::new(g, ReverseAll);
     let mut process = TwoChoice::new(decider.clone());
     let mut state = LoadState::new(n);
-    let mut rng = Rng::from_seed(args.seed);
+    let mut rng = Rng::from_seed(experiment_seed("potential_drop", args.seed));
 
     let total_steps = (args.m()).min(400 * n as u64);
     let check_every = (total_steps / 40).max(1);

@@ -7,7 +7,7 @@
 //! the three regimes: free (T small), b-Batch-like degradation (T ~ n),
 //! and **herding** (T ≫ n — stale two-choice becomes *worse than random*).
 
-use balloc_bench::{fmt3, print_header, save_json, CommonArgs};
+use balloc_bench::{experiment_seed, fmt3, print_header, save_json, CommonArgs};
 use balloc_core::Rng;
 use balloc_dynamic::{JoinPolicy, Supermarket};
 use balloc_sim::TextTable;
@@ -61,8 +61,9 @@ fn main() {
     let slots = 6_000u64;
     println!("servers = {n}, lambda = {lambda}, mu = {mu}, slots = {slots}\n");
 
-    let random = measure(JoinPolicy::Random, n, lambda, mu, slots, args.seed);
-    let live = measure(JoinPolicy::TwoChoice, n, lambda, mu, slots, args.seed + 1);
+    let tagged = experiment_seed("queueing_stale", args.seed);
+    let random = measure(JoinPolicy::Random, n, lambda, mu, slots, tagged);
+    let live = measure(JoinPolicy::TwoChoice, n, lambda, mu, slots, tagged + 1);
 
     let periods = [1u64, 10, 100, 500, 2_000, 5_000];
     let stale: Vec<QueueingPoint> = periods
@@ -75,7 +76,7 @@ fn main() {
                 lambda,
                 mu,
                 slots,
-                args.seed + 2 + j as u64,
+                tagged + 2 + j as u64,
             )
         })
         .collect();

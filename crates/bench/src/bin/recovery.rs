@@ -6,7 +6,7 @@
 //! stays small. This binary starts `g-Bounded` (and noiseless Two-Choice)
 //! from three corrupted initial vectors and traces the gap over time.
 
-use balloc_bench::{fmt3, print_header, save_json, CommonArgs};
+use balloc_bench::{experiment_seed, fmt3, print_header, save_json, CommonArgs};
 use balloc_core::{Rng, TwoChoice};
 use balloc_noise::GBounded;
 use balloc_sim::{initial, run_on_state, Checkpoints, TracePoint};
@@ -44,7 +44,7 @@ fn main() {
         ),
         (
             "one-choice burn-in (m=20n)".to_string(),
-            initial::one_choice_start(n, 20 * n as u64, args.seed),
+            initial::one_choice_start(n, 20 * n as u64, experiment_seed("recovery/start", args.seed)),
         ),
         (
             "cliff (n/10 bins +60)".to_string(),
@@ -61,7 +61,7 @@ fn main() {
             // recovery from gap G needs ⩾ G·n steps; give 2× headroom plus
             // a stabilization tail.
             let steps = (2.0 * initial_gap * n as f64) as u64 + 20 * n as u64;
-            let mut rng = Rng::from_seed(args.seed + 17);
+            let mut rng = Rng::from_seed(experiment_seed("recovery/run", args.seed));
             let trace = if is_noisy {
                 run_on_state(
                     &mut GBounded::new(g),

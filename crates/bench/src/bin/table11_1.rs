@@ -15,12 +15,13 @@
 //!   first batch.
 
 use balloc_analysis::bounds::{noisy_load_lower, one_choice_gap};
-use balloc_bench::{fmt3, print_header, save_json, CommonArgs};
+use balloc_bench::{experiment_seed, fmt3, print_header, save_json, CommonArgs};
+use balloc_core::rng::point_seed;
 use balloc_core::stats::Summary;
 use balloc_core::Process;
-use balloc_noise::{Batched, GMyopic, SigmaNoisyLoad};
 use balloc_core::TwoChoice;
-use balloc_sim::{gaps, repeat, RunConfig};
+use balloc_noise::{Batched, GMyopic, SigmaNoisyLoad};
+use balloc_sim::{gaps, repeat_grid, RunConfig};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -38,13 +39,29 @@ struct Table11_1 {
     checks: Vec<LowerBoundCheck>,
 }
 
-fn mean_gap(
-    factory: impl Fn() -> Box<dyn Process + Send> + Sync,
-    config: RunConfig,
-    runs: usize,
-    threads: usize,
-) -> f64 {
-    Summary::from_values(&gaps(&repeat(factory, config, runs, threads))).mean()
+/// One lower-bound construction: its claim, the specific `m` it is stated
+/// at, the bound's numeric value, and a factory for the process under test.
+struct Row {
+    claim: String,
+    m: u64,
+    bound_value: f64,
+    factory: Box<dyn Fn() -> Box<dyn Process + Send> + Sync>,
+}
+
+impl Row {
+    fn new(
+        claim: impl Into<String>,
+        m: u64,
+        bound_value: f64,
+        factory: impl Fn() -> Box<dyn Process + Send> + Sync + 'static,
+    ) -> Self {
+        Self {
+            claim: claim.into(),
+            m,
+            bound_value,
+            factory: Box::new(factory),
+        }
+    }
 }
 
 fn main() {
@@ -55,131 +72,93 @@ fn main() {
 
     let n = args.n as u64;
     let logn = (n as f64).ln();
-    let mut checks: Vec<LowerBoundCheck> = Vec::new();
-    let runs = args.runs;
-    let threads = args.threads;
+    let mut rows: Vec<Row> = Vec::new();
 
     // Observation 11.1: Two-Choice itself (the weakest g-Adv-Comp
-    // adversary) at m = n has gap ≈ log₂ log n − κ.
-    {
-        let bound = (logn / 2f64.ln()).log2() - 2.0; // κ ≈ 2 empirically
-        let measured = mean_gap(
-            || Box::new(TwoChoice::classic()),
-            RunConfig::new(args.n, n, args.seed),
-            runs,
-            threads,
-        );
-        checks.push(LowerBoundCheck {
-            claim: "Obs 11.1: any g-Adv-Comp, m = n, gap >= log2 log n - k".into(),
-            m: n,
-            bound_value: bound,
-            measured_mean_gap: measured,
-            satisfied: measured >= bound,
-        });
-    }
+    // adversary) at m = n has gap >= log2 log n - k (k ~ 2 empirically).
+    rows.push(Row::new(
+        "Obs 11.1: any g-Adv-Comp, m = n, gap >= log2 log n - k",
+        n,
+        (logn / 2f64.ln()).log2() - 2.0,
+        || Box::new(TwoChoice::classic()),
+    ));
 
     // Proposition 11.2(i): g-Myopic at m = ng/2 has gap >= g/35.
     for g in [8u64, 16, 32] {
-        let m = n * g / 2;
-        let measured = mean_gap(
-            || Box::new(GMyopic::new(g)),
-            RunConfig::new(args.n, m, args.seed + g),
-            runs,
-            threads,
-        );
-        let bound = g as f64 / 35.0;
-        checks.push(LowerBoundCheck {
-            claim: format!("Prop 11.2(i): g-Myopic-Comp, g = {g}, m = ng/2, gap >= g/35"),
-            m,
-            bound_value: bound,
-            measured_mean_gap: measured,
-            satisfied: measured >= bound,
-        });
+        rows.push(Row::new(
+            format!("Prop 11.2(i): g-Myopic-Comp, g = {g}, m = ng/2, gap >= g/35"),
+            n * g / 2,
+            g as f64 / 35.0,
+            move || Box::new(GMyopic::new(g)),
+        ));
     }
 
-    // Proposition 11.2(ii): g >= 6 log n, m = ng²/(32 log n), gap >= g/60.
+    // Proposition 11.2(ii): g >= 6 log n, m = ng^2/(32 log n), gap >= g/60.
     {
         let g = (6.0 * logn).ceil() as u64 + 2;
-        let m = ((n as f64) * (g * g) as f64 / (32.0 * logn)).ceil() as u64;
-        let measured = mean_gap(
-            || Box::new(GMyopic::new(g)),
-            RunConfig::new(args.n, m, args.seed + 77),
-            runs,
-            threads,
-        );
-        let bound = g as f64 / 60.0;
-        checks.push(LowerBoundCheck {
-            claim: format!("Prop 11.2(ii): g-Myopic-Comp, g = {g} (>= 6 log n), gap >= g/60"),
-            m,
-            bound_value: bound,
-            measured_mean_gap: measured,
-            satisfied: measured >= bound,
-        });
+        rows.push(Row::new(
+            format!("Prop 11.2(ii): g-Myopic-Comp, g = {g} (>= 6 log n), gap >= g/60"),
+            ((n as f64) * (g * g) as f64 / (32.0 * logn)).ceil() as u64,
+            g as f64 / 60.0,
+            move || Box::new(GMyopic::new(g)),
+        ));
     }
 
-    // Theorem 11.3 shape: at m = n·ℓ with small ℓ, the myopic gap grows
-    // with g at least like the sublog term (shape check at ℓ = 4).
-    {
+    // Theorem 11.3 shape: at m = n*l with small l, the myopic gap grows
+    // with g at least like the sublog term (shape check at l = 4).
+    for g in [4u64, 16] {
         let ell = 4u64;
-        let m = n * ell;
-        for g in [4u64, 16] {
-            let measured = mean_gap(
-                || Box::new(GMyopic::new(g)),
-                RunConfig::new(args.n, m, args.seed + 200 + g),
-                runs,
-                threads,
-            );
-            let bound = balloc_analysis::layered::myopic_lower_value(n, g) / 4.0;
-            checks.push(LowerBoundCheck {
-                claim: format!(
-                    "Thm 11.3 (shape): g-Myopic-Comp, g = {g}, m = {ell}n, gap ~ g/log g loglog n"
-                ),
-                m,
-                bound_value: bound,
-                measured_mean_gap: measured,
-                satisfied: measured >= bound,
-            });
-        }
+        rows.push(Row::new(
+            format!("Thm 11.3 (shape): g-Myopic-Comp, g = {g}, m = {ell}n, gap ~ g/log g loglog n"),
+            n * ell,
+            balloc_analysis::layered::myopic_lower_value(n, g) / 4.0,
+            move || Box::new(GMyopic::new(g)),
+        ));
     }
 
-    // Proposition 11.5: σ-Noisy-Load at m = σ^{4/5}·n/2.
+    // Proposition 11.5: sigma-Noisy-Load at m = sigma^{4/5}*n/2. The
+    // paper's constants are 1/2, 1/30 etc.; use the growth term/8.
     for sigma in [8.0f64, 32.0] {
-        let m = ((sigma.powf(0.8) * n as f64) / 2.0).ceil() as u64;
-        let measured = mean_gap(
-            || Box::new(SigmaNoisyLoad::new(sigma)),
-            RunConfig::new(args.n, m, args.seed + 300 + sigma as u64),
-            runs,
-            threads,
-        );
-        // The paper's constants are 1/2, 1/30 etc.; use the growth term/8.
-        let bound = noisy_load_lower(n, sigma) / 8.0;
-        checks.push(LowerBoundCheck {
-            claim: format!("Prop 11.5: sigma-Noisy-Load, sigma = {sigma}, m = sigma^0.8 n/2"),
-            m,
-            bound_value: bound,
-            measured_mean_gap: measured,
-            satisfied: measured >= bound,
-        });
+        rows.push(Row::new(
+            format!("Prop 11.5: sigma-Noisy-Load, sigma = {sigma}, m = sigma^0.8 n/2"),
+            ((sigma.powf(0.8) * n as f64) / 2.0).ceil() as u64,
+            noisy_load_lower(n, sigma) / 8.0,
+            move || Box::new(SigmaNoisyLoad::new(sigma)),
+        ));
     }
 
     // Observation 11.6: b-Batch at m = b matches One-Choice(b).
-    {
-        let b = n;
-        let measured = mean_gap(
-            || Box::new(Batched::new(b)),
-            RunConfig::new(args.n, b, args.seed + 400),
-            runs,
-            threads,
-        );
-        let bound = one_choice_gap(n, b) / 4.0;
-        checks.push(LowerBoundCheck {
-            claim: "Obs 11.6: b-Batch, m = b = n, gap ~ One-Choice(b)".into(),
-            m: b,
-            bound_value: bound,
-            measured_mean_gap: measured,
-            satisfied: measured >= bound,
-        });
-    }
+    rows.push(Row::new(
+        "Obs 11.6: b-Batch, m = b = n, gap ~ One-Choice(b)",
+        n,
+        one_choice_gap(n, n) / 4.0,
+        move || Box::new(Batched::new(n)),
+    ));
+
+    // Every row's runs go onto one flattened work-stealing task set; row k
+    // gets the decorrelated master seed point_seed(tagged_base, k), where
+    // tagged_base folds this binary's experiment tag into --seed.
+    let configs: Vec<RunConfig> = rows
+        .iter()
+        .enumerate()
+        .map(|(k, row)| RunConfig::new(args.n, row.m, point_seed(experiment_seed("table11_1", args.seed), k as u64)))
+        .collect();
+    let blocks = repeat_grid(&configs, |k| (rows[k].factory)(), args.runs, args.threads);
+
+    let checks: Vec<LowerBoundCheck> = rows
+        .iter()
+        .zip(blocks)
+        .map(|(row, results)| {
+            let measured = Summary::from_values(&gaps(&results)).mean();
+            LowerBoundCheck {
+                claim: row.claim.clone(),
+                m: row.m,
+                bound_value: row.bound_value,
+                measured_mean_gap: measured,
+                satisfied: measured >= row.bound_value,
+            }
+        })
+        .collect();
 
     println!(
         "{:<75} {:>10} {:>10} {:>10} {:>6}",

@@ -5,10 +5,11 @@
 //! Paper setup: n ∈ {10⁴, 5·10⁴, 10⁵}, m = 1000·n, 100 runs; each cell of
 //! the table is a `gap : percent%` distribution.
 
-use balloc_bench::{print_header, save_json, CommonArgs};
+use balloc_bench::{experiment_seed, print_header, save_json, CommonArgs};
+use balloc_core::rng::point_seed;
 use balloc_core::Process;
 use balloc_noise::{GBounded, GMyopic, SigmaNoisyLoad};
-use balloc_sim::{repeat, GapDistribution, RunConfig};
+use balloc_sim::{repeat_grid, GapDistribution, RunConfig};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -25,28 +26,18 @@ struct Table12_3 {
     cells: Vec<DistributionCell>,
 }
 
-fn distribution_for(
-    label: &str,
-    p: u64,
-    base: RunConfig,
-    runs: usize,
-    threads: usize,
-) -> GapDistribution {
-    let factory = |p: u64| -> Box<dyn Process + Send> {
-        match label {
-            "g-Bounded" => Box::new(GBounded::new(p)),
-            "g-Myopic-Comp" => Box::new(GMyopic::new(p)),
-            "sigma-Noisy-Load" => {
-                // σ = 0 is noiseless Two-Choice; a tiny σ keeps the same
-                // code path (ρ(δ) ≈ 1 for every δ ⩾ 1).
-                let sigma = if p == 0 { 0.05 } else { p as f64 };
-                Box::new(SigmaNoisyLoad::new(sigma))
-            }
-            other => unreachable!("unknown process {other}"),
+fn make_process(label: &str, p: u64) -> Box<dyn Process + Send> {
+    match label {
+        "g-Bounded" => Box::new(GBounded::new(p)),
+        "g-Myopic-Comp" => Box::new(GMyopic::new(p)),
+        "sigma-Noisy-Load" => {
+            // σ = 0 is noiseless Two-Choice; a tiny σ keeps the same
+            // code path (ρ(δ) ≈ 1 for every δ ⩾ 1).
+            let sigma = if p == 0 { 0.05 } else { p as f64 };
+            Box::new(SigmaNoisyLoad::new(sigma))
         }
-    };
-    let results = repeat(|| factory(p), base, runs, threads);
-    GapDistribution::from_results(&results)
+        other => unreachable!("unknown process {other}"),
+    }
 }
 
 fn main() {
@@ -56,20 +47,26 @@ fn main() {
     print_header("T12.3", "gap distributions", &args);
 
     let params = [0u64, 1, 2, 4, 8, 16];
-    let mut cells = Vec::new();
+    let labels = ["g-Bounded", "g-Myopic-Comp", "sigma-Noisy-Load"];
 
-    for (idx, label) in ["g-Bounded", "g-Myopic-Comp", "sigma-Noisy-Load"]
-        .into_iter()
-        .enumerate()
-    {
+    // All 18 table cells (3 processes × 6 parameters) × runs flatten into
+    // one task set on the work-stealing pool; cell c is (process c / |P|,
+    // parameter c mod |P|), with a point_seed-derived master per cell.
+    let configs: Vec<RunConfig> = (0..labels.len() * params.len())
+        .map(|c| RunConfig::new(args.n, args.m(), point_seed(experiment_seed("table12_3", args.seed), c as u64)))
+        .collect();
+    let blocks = repeat_grid(
+        &configs,
+        |c| make_process(labels[c / params.len()], params[c % params.len()]),
+        args.runs,
+        args.threads,
+    );
+
+    let mut cells = Vec::new();
+    for (idx, label) in labels.into_iter().enumerate() {
         println!("{label} (n = {}):", args.n);
         for (j, &p) in params.iter().enumerate() {
-            let base = RunConfig::new(
-                args.n,
-                args.m(),
-                args.seed.wrapping_add(idx as u64 * 100 + j as u64),
-            );
-            let dist = distribution_for(label, p, base, args.runs, args.threads);
+            let dist = GapDistribution::from_results(&blocks[idx * params.len() + j]);
             println!("  {:>2} | {}", p, dist.paper_style_inline());
             cells.push(DistributionCell {
                 process: label.to_string(),

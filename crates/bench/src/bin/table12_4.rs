@@ -3,10 +3,11 @@
 //!
 //! Paper setup: b ∈ {10, 10², 10³, 10⁴, 10⁵}, n = 10⁴, 100 runs.
 
-use balloc_bench::{print_header, save_json, CommonArgs};
+use balloc_bench::{experiment_seed, print_header, save_json, CommonArgs};
+use balloc_core::rng::point_seed;
 use balloc_noise::Batched;
 use balloc_processes::OneChoice;
-use balloc_sim::{repeat, GapDistribution, RunConfig};
+use balloc_sim::{repeat_grid, sweep, GapDistribution, RunConfig};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -29,17 +30,35 @@ fn main() {
         .filter(|&b| b <= m)
         .collect();
 
-    let mut batched_dists = Vec::new();
-    let mut one_dists = Vec::new();
-    for (j, &b) in batch_sizes.iter().enumerate() {
-        let base = RunConfig::new(args.n, m, args.seed.wrapping_add(j as u64));
-        let results = repeat(|| Batched::new(b), base, args.runs, args.threads);
-        batched_dists.push(GapDistribution::from_results(&results));
-
-        let oc_base = RunConfig::new(args.n, b, args.seed.wrapping_add(900 + j as u64));
-        let oc = repeat(OneChoice::new, oc_base, args.runs, args.threads);
-        one_dists.push(GapDistribution::from_results(&oc));
+    if batch_sizes.is_empty() {
+        println!("no batch size <= m = {m}; nothing to measure");
+        return;
     }
+
+    // b-Batch arm: one flattened b × runs grid on the work-stealing pool.
+    let batched_dists: Vec<GapDistribution> = sweep(
+        &batch_sizes.iter().map(|&b| b as f64).collect::<Vec<_>>(),
+        |b| Batched::new(b as u64),
+        RunConfig::new(args.n, m, experiment_seed("table12_4/batch", args.seed)),
+        args.runs,
+        args.threads,
+    )
+    .into_iter()
+    .map(|point| point.distribution)
+    .collect();
+
+    // One-Choice arm: m = b varies per point, so schedule explicit configs.
+    let oc_seed = experiment_seed("table12_4/one_choice", args.seed);
+    let oc_configs: Vec<RunConfig> = batch_sizes
+        .iter()
+        .enumerate()
+        .map(|(j, &b)| RunConfig::new(args.n, b, point_seed(oc_seed, j as u64)))
+        .collect();
+    let one_dists: Vec<GapDistribution> =
+        repeat_grid(&oc_configs, |_| OneChoice::new(), args.runs, args.threads)
+            .iter()
+            .map(|results| GapDistribution::from_results(results))
+            .collect();
 
     println!("b-Batch (m = {}n):", args.balls_per_bin);
     for i in 0..batch_sizes.len() {

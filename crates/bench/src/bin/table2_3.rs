@@ -7,7 +7,7 @@
 //! the lower-bound term and a constant multiple of the upper-bound term).
 
 use balloc_analysis::bounds::table_2_3;
-use balloc_bench::{fmt3, print_header, save_json, CommonArgs};
+use balloc_bench::{experiment_seed, fmt3, print_header, save_json, CommonArgs};
 use balloc_core::Process;
 use balloc_noise::{Batched, Delayed, DelayStrategy, GBounded, GMyopic, SigmaNoisyLoad};
 use balloc_sim::{gaps, repeat, RunConfig};
@@ -53,7 +53,7 @@ fn main() {
     let b = args.n as u64;
     let sigma = 4.0;
     let rows_theory = table_2_3(args.n as u64, g, b, sigma);
-    let base = RunConfig::new(args.n, args.m(), args.seed);
+    let base = RunConfig::new(args.n, args.m(), experiment_seed("table2_3/bounded", args.seed));
     let runs = args.runs.min(20); // spot-checks, not full experiments
     let threads = args.threads;
 
@@ -66,25 +66,25 @@ fn main() {
     );
     let measured_myopic = measure(
         || Box::new(GMyopic::new(g)),
-        base.with_seed(args.seed + 1),
+        base.with_seed(experiment_seed("table2_3/myopic", args.seed)),
         runs,
         threads,
     );
     let measured_batch = measure(
         || Box::new(Batched::new(b)),
-        base.with_seed(args.seed + 2),
+        base.with_seed(experiment_seed("table2_3/batch", args.seed)),
         runs,
         threads,
     );
     let measured_delay = measure(
         || Box::new(Delayed::new(b, DelayStrategy::AdversarialFlip)),
-        base.with_seed(args.seed + 3),
+        base.with_seed(experiment_seed("table2_3/delay", args.seed)),
         runs,
         threads,
     );
     let measured_noisy = measure(
         || Box::new(SigmaNoisyLoad::new(sigma)),
-        base.with_seed(args.seed + 4),
+        base.with_seed(experiment_seed("table2_3/noisy_load", args.seed)),
         runs,
         threads,
     );

@@ -305,7 +305,40 @@ impl Rng {
 /// ```
 #[must_use]
 pub fn run_seed(master_seed: u64, index: u64) -> u64 {
-    let mut sm = SplitMix64::new(master_seed ^ 0xA076_1D64_78BD_642F);
+    derive_seed(master_seed, index, 0xA076_1D64_78BD_642F)
+}
+
+/// Derives the master seed for the `index`-th *parameter point* of a sweep
+/// from the sweep's base seed.
+///
+/// Point seeds pass the base seed through a SplitMix64 mixer before the
+/// index enters, so sweeps run with *nearby* base seeds (`s`, `s + 1`, …)
+/// still get unrelated per-point seeds. The naive `base + index` derivation
+/// this replaces made sweep A's point `j + 1` reuse sweep B's point `j`
+/// master seed — silently correlating figures that claim independence.
+///
+/// The domain tag differs from [`run_seed`]'s, so a point seed can never
+/// alias a run seed derived from the same base.
+///
+/// # Examples
+///
+/// ```
+/// use balloc_core::rng::{point_seed, run_seed};
+/// assert_eq!(point_seed(7, 2), point_seed(7, 2));
+/// assert_ne!(point_seed(7, 2), point_seed(8, 1));
+/// assert_ne!(point_seed(7, 2), run_seed(7, 2));
+/// ```
+#[must_use]
+pub fn point_seed(base_seed: u64, index: u64) -> u64 {
+    derive_seed(base_seed, index, 0xE703_7ED1_A0B4_28DB)
+}
+
+/// Shared two-stage SplitMix64 derivation: mix the master seed under a
+/// domain tag, then mix again with the index folded in through the golden
+/// ratio. Both stages run the full avalanche, so neither nearby masters nor
+/// nearby indices produce related outputs.
+fn derive_seed(master_seed: u64, index: u64, tag: u64) -> u64 {
+    let mut sm = SplitMix64::new(master_seed ^ tag);
     let a = sm.next_u64();
     let mut sm2 = SplitMix64::new(a.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
     sm2.next_u64()
@@ -489,5 +522,35 @@ mod tests {
         assert_eq!(s0, run_seed(42, 0));
         // Different master seeds give different run seeds.
         assert_ne!(run_seed(42, 0), run_seed(43, 0));
+    }
+
+    #[test]
+    fn point_seed_is_stable_and_spread() {
+        assert_eq!(point_seed(42, 0), point_seed(42, 0));
+        assert_ne!(point_seed(42, 0), point_seed(42, 1));
+        assert_ne!(point_seed(42, 0), point_seed(43, 0));
+    }
+
+    #[test]
+    fn point_seeds_of_adjacent_bases_do_not_shift_align() {
+        // Regression for the sweep seed-overlap bug: with the old
+        // `base + j` derivation, point_seed(s, j + 1) == point_seed(s + 1, j)
+        // for every j, so "independent" sweeps shared almost all seeds.
+        for s in [0u64, 1, 41, 42, u64::MAX - 1] {
+            for j in 0..32 {
+                assert_ne!(
+                    point_seed(s, j + 1),
+                    point_seed(s + 1, j),
+                    "shift-aligned point seeds for base {s}, index {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn point_and_run_domains_are_separated() {
+        for i in 0..64u64 {
+            assert_ne!(point_seed(99, i), run_seed(99, i));
+        }
     }
 }

@@ -119,7 +119,12 @@ impl Process for Batched {
             self.since_snapshot.clear();
             self.snapshot_balls = state.balls();
             self.initialized = true;
-        } else if state.balls().is_multiple_of(self.b) {
+        } else if self.since_snapshot.len() as u64 >= self.b {
+            // Count balls *since the snapshot* rather than the absolute ball
+            // count: after a (re)sync on a non-empty state whose ball count
+            // is not a multiple of b (recovery experiments via
+            // `run_on_state`), the first batch must still span a full b
+            // balls instead of being truncated at the next absolute multiple.
             self.refresh_snapshot();
             self.snapshot_balls = state.balls();
             // Balanced external modifications (equal numbers of foreign
@@ -232,6 +237,38 @@ mod tests {
         let loads_after_b = state.loads().to_vec();
         process.allocate(&mut state, &mut rng);
         for (i, &expected) in loads_after_b.iter().enumerate() {
+            assert_eq!(process.reported_load(i), expected);
+        }
+    }
+
+    #[test]
+    fn first_batch_after_sync_on_nonempty_state_is_full_length() {
+        // Regression: the boundary check used the *absolute* ball count, so
+        // syncing on a state with B₀ mod b ≠ 0 balls truncated the first
+        // batch to b − (B₀ mod b) balls. A tower of 29 balls with b = 10
+        // must keep its first snapshot frozen for 10 allocations, not 1.
+        let n = 8;
+        let b = 10u64;
+        let mut loads = vec![3u64; n];
+        loads[0] = 8; // 29 balls in total, 29 mod 10 = 9
+        let state_loads = loads.clone();
+        let mut state = LoadState::from_loads(loads);
+        let mut process = Batched::new(b);
+        let mut rng = Rng::from_seed(11);
+        for step in 0..b {
+            process.allocate(&mut state, &mut rng);
+            for (i, &expected) in state_loads.iter().enumerate() {
+                assert_eq!(
+                    process.reported_load(i),
+                    expected,
+                    "snapshot drifted at step {step}"
+                );
+            }
+        }
+        // Allocation b + 1 starts batch 2 from the true loads.
+        let loads_after_batch = state.loads().to_vec();
+        process.allocate(&mut state, &mut rng);
+        for (i, &expected) in loads_after_batch.iter().enumerate() {
             assert_eq!(process.reported_load(i), expected);
         }
     }

@@ -93,7 +93,9 @@ impl Checkpoints {
             Checkpoints::None => Vec::new(),
             Checkpoints::Linear(k) => {
                 let k = u64::from(k.max(1));
-                (1..=k).map(|i| i * m / k).collect()
+                // With k > m the early grid points truncate to step 0, which
+                // would record a meaningless (0, 0.0) trace entry.
+                (1..=k).map(|i| i * m / k).filter(|&s| s > 0).collect()
             }
             Checkpoints::Geometric(f) => {
                 let f = u64::from(f.max(2));
@@ -156,6 +158,42 @@ mod tests {
     #[test]
     fn zero_m_has_no_checkpoints() {
         assert!(Checkpoints::Linear(5).steps(0).is_empty());
+    }
+
+    #[test]
+    fn linear_more_checkpoints_than_steps_skips_step_zero() {
+        // Regression: Linear(5).steps(2) used to truncate i*m/k to 0 and
+        // emit a spurious step-0 checkpoint.
+        assert_eq!(Checkpoints::Linear(5).steps(2), vec![1, 2]);
+        assert_eq!(Checkpoints::Linear(100).steps(3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn linear_exactly_m_checkpoints_hits_every_step() {
+        assert_eq!(Checkpoints::Linear(4).steps(4), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn single_step_run_has_single_checkpoint() {
+        for cp in [
+            Checkpoints::None,
+            Checkpoints::Linear(1),
+            Checkpoints::Linear(7),
+            Checkpoints::Geometric(2),
+        ] {
+            assert_eq!(cp.steps(1), vec![1], "{cp:?}");
+        }
+    }
+
+    #[test]
+    fn no_checkpoint_at_step_zero() {
+        for k in [1u32, 2, 3, 5, 17, 1000] {
+            for m in [1u64, 2, 3, 10, 99] {
+                let steps = Checkpoints::Linear(k).steps(m);
+                assert!(!steps.contains(&0), "Linear({k}).steps({m}) = {steps:?}");
+                assert_eq!(*steps.last().unwrap(), m);
+            }
+        }
     }
 
     #[test]

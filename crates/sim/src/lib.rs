@@ -8,11 +8,33 @@
 //!   optional gap traces ([`Checkpoints`]);
 //! * [`repeat`] — parallel repetitions with derived per-run seeds
 //!   (sequential ≡ parallel, always);
+//! * [`repeat_grid`] — many configurations × many repetitions flattened
+//!   into one task set on the vendored `workpool` work-stealing pool;
 //! * [`sweep`] — one experiment per parameter value (the paper's figure
-//!   series);
+//!   series), scheduled through [`repeat_grid`];
 //! * [`GapDistribution`] — the `gap : percent%` histograms of Tables
 //!   12.3/12.4;
 //! * [`TextTable`] / [`to_json`] — reporting.
+//!
+//! # Seeding contract
+//!
+//! Every random decision in an experiment is a pure function of a single
+//! base seed, derived through two tagged SplitMix64 mixers from
+//! `balloc_core::rng`:
+//!
+//! ```text
+//! base seed s ──point_seed(s, j)──▶ point master (parameter index j)
+//!            └──────────────────────run_seed(master, i)──▶ run seed
+//! ```
+//!
+//! * [`repeat`] runs repetition `i` with `run_seed(base.seed, i)`.
+//! * [`sweep`] gives parameter index `j` the master `point_seed(base.seed,
+//!   j)`, then derives run seeds as above — so two sweeps with *nearby*
+//!   base seeds (even `s` and `s + 1`) share **no** run seeds, and the two
+//!   derivation layers can never alias each other (distinct domain tags).
+//! * Scheduling is seed-free: thread count and work stealing only choose
+//!   *where* a task runs. Results are byte-identical to `threads = 1` for
+//!   every thread count.
 //!
 //! # Example: a miniature Fig. 12.1 point
 //!
@@ -46,6 +68,7 @@ pub use config::{Checkpoints, RunConfig};
 pub use distribution::GapDistribution;
 pub use report::{to_json, TextTable};
 pub use runner::{
-    gaps, repeat, repeat_traced, run, run_on_state, run_traced, RunResult, TracePoint,
+    gaps, repeat, repeat_grid, repeat_grid_traced, repeat_traced, run, run_on_state, run_traced,
+    RunResult, TracePoint,
 };
-pub use sweep::{series, sweep, SweepPoint};
+pub use sweep::{series, sweep, sweep_traced, SweepPoint};

@@ -5,9 +5,13 @@
 //! with master seed `s` uses the derived seed
 //! [`run_seed(s, i)`](balloc_core::rng::run_seed), so sequential and
 //! parallel execution produce **identical** results.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+//!
+//! Execution is delegated to the vendored [`workpool`] work-stealing pool:
+//! [`repeat`]/[`repeat_traced`] are thin wrappers over
+//! [`workpool::par_map_indexed`], and [`repeat_grid`] schedules a whole
+//! `configs × runs` grid as **one** flattened task set, so multi-point
+//! experiments saturate every core even when single points have few
+//! repetitions.
 
 use balloc_core::rng::run_seed;
 use balloc_core::{LoadState, Process, Rng};
@@ -160,45 +164,87 @@ where
     F: Fn() -> P + Sync,
 {
     assert!(runs > 0, "need at least one run");
-    assert!(threads > 0, "need at least one thread");
-    let threads = threads.min(runs);
-    if threads == 1 {
-        return (0..runs)
-            .map(|i| {
-                let mut process = factory();
-                run_traced(
-                    &mut process,
-                    base.with_seed(run_seed(base.seed, i as u64)),
-                    checkpoints,
-                )
-            })
-            .collect();
-    }
+    let mut points =
+        repeat_grid_traced(&[base], |_| factory(), runs, threads, checkpoints);
+    points.pop().expect("one config yields one result block")
+}
 
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<RunResult>>> = Mutex::new(vec![None; runs]);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= runs {
-                    break;
-                }
-                let mut process = factory();
-                let result = run_traced(
-                    &mut process,
-                    base.with_seed(run_seed(base.seed, i as u64)),
-                    checkpoints,
-                );
-                results.lock().expect("runner mutex poisoned")[i] = Some(result);
-            });
-        }
+/// Runs `runs` repetitions of **every** configuration in `configs` as a
+/// single flattened task set on the work-stealing pool, returning one
+/// result block per configuration (in configuration order).
+///
+/// This is the scheduling primitive behind [`crate::sweep`]: a 10-point ×
+/// 100-repetition figure becomes 1 000 independent tasks stolen across all
+/// workers, instead of 10 sequential 100-task regions. `factory(k)` builds
+/// a fresh process for configuration `k`; repetition `i` of configuration
+/// `k` runs with seed `run_seed(configs[k].seed, i)`. Results are
+/// **identical for every thread count**.
+///
+/// # Panics
+///
+/// Panics if `configs` is empty, `runs == 0`, or `threads == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use balloc_core::TwoChoice;
+/// use balloc_sim::{repeat_grid, RunConfig};
+///
+/// let configs = [RunConfig::new(64, 640, 1), RunConfig::new(64, 1_280, 2)];
+/// let blocks = repeat_grid(&configs, |_| TwoChoice::classic(), 3, 2);
+/// assert_eq!(blocks.len(), 2);
+/// assert_eq!(blocks[0].len(), 3);
+/// assert_eq!(blocks[1][0].config.m, 1_280);
+/// ```
+#[must_use]
+pub fn repeat_grid<P, F>(
+    configs: &[RunConfig],
+    factory: F,
+    runs: usize,
+    threads: usize,
+) -> Vec<Vec<RunResult>>
+where
+    P: Process,
+    F: Fn(usize) -> P + Sync,
+{
+    repeat_grid_traced(configs, factory, runs, threads, Checkpoints::None)
+}
+
+/// [`repeat_grid`] with gap traces at the given checkpoints.
+///
+/// # Panics
+///
+/// Panics if `configs` is empty, `runs == 0`, or `threads == 0`.
+#[must_use]
+pub fn repeat_grid_traced<P, F>(
+    configs: &[RunConfig],
+    factory: F,
+    runs: usize,
+    threads: usize,
+    checkpoints: Checkpoints,
+) -> Vec<Vec<RunResult>>
+where
+    P: Process,
+    F: Fn(usize) -> P + Sync,
+{
+    assert!(!configs.is_empty(), "need at least one configuration");
+    assert!(runs > 0, "need at least one run");
+    assert!(threads > 0, "need at least one thread");
+    let total = configs.len() * runs;
+    let results = workpool::par_map_indexed(threads.min(total), total, |task| {
+        let k = task / runs;
+        let i = (task % runs) as u64;
+        let config = configs[k];
+        let mut process = factory(k);
+        run_traced(
+            &mut process,
+            config.with_seed(run_seed(config.seed, i)),
+            checkpoints,
+        )
     });
-    results
-        .into_inner()
-        .expect("runner mutex poisoned")
-        .into_iter()
-        .map(|r| r.expect("all runs completed"))
+    let mut results = results.into_iter();
+    (0..configs.len())
+        .map(|_| results.by_ref().take(runs).collect())
         .collect()
 }
 
@@ -316,6 +362,37 @@ mod tests {
         for (i, r) in results.iter().enumerate() {
             assert_eq!(r.config.seed, run_seed(55, i as u64));
         }
+    }
+
+    #[test]
+    fn grid_flattens_and_orders_results() {
+        let configs = [RunConfig::new(32, 320, 1), RunConfig::new(32, 640, 2)];
+        let blocks = repeat_grid(&configs, |_| TwoChoice::classic(), 3, 4);
+        assert_eq!(blocks.len(), 2);
+        for (k, block) in blocks.iter().enumerate() {
+            assert_eq!(block.len(), 3);
+            for (i, result) in block.iter().enumerate() {
+                assert_eq!(result.config.m, configs[k].m);
+                assert_eq!(result.config.seed, run_seed(configs[k].seed, i as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_parallel_equals_sequential() {
+        let configs: Vec<RunConfig> =
+            (0..5).map(|k| RunConfig::new(48, 960, 100 + k)).collect();
+        let reference = repeat_grid(&configs, |_| TwoChoice::classic(), 4, 1);
+        for threads in [2usize, 3, 7] {
+            let parallel = repeat_grid(&configs, |_| TwoChoice::classic(), 4, threads);
+            assert_eq!(reference, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one configuration")]
+    fn empty_grid_rejected() {
+        let _ = repeat_grid(&[], |_: usize| TwoChoice::classic(), 1, 1);
     }
 
     #[test]

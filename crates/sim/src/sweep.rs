@@ -2,16 +2,23 @@
 //!
 //! Fig. 12.1 sweeps the noise parameter `g` (or `σ`) and reports the
 //! average gap per value; Fig. 12.2 sweeps the batch size `b`. [`sweep`]
-//! runs such an experiment — `runs` repetitions per parameter value, in
-//! parallel — and returns one [`SweepPoint`] per value.
+//! runs such an experiment — `runs` repetitions per parameter value — and
+//! returns one [`SweepPoint`] per value.
+//!
+//! Scheduling: the whole `params × runs` grid is flattened into **one**
+//! task set on the work-stealing pool (via
+//! [`repeat_grid_traced`](crate::repeat_grid_traced)), so a 10-point ×
+//! 100-repetition figure keeps every core busy until the last task, instead
+//! of parallelizing only within one point at a time.
 
+use balloc_core::rng::point_seed;
 use balloc_core::stats::Summary;
 use balloc_core::Process;
 use serde::{Deserialize, Serialize};
 
-use crate::config::RunConfig;
+use crate::config::{Checkpoints, RunConfig};
 use crate::distribution::GapDistribution;
-use crate::runner::{gaps, repeat, RunResult};
+use crate::runner::{gaps, repeat_grid_traced, RunResult};
 
 /// Aggregated results of all repetitions at a single parameter value.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -57,10 +64,14 @@ impl SweepPoint {
 /// every parameter value, returning one aggregated [`SweepPoint`] per
 /// value.
 ///
-/// Seeding: parameter index `j` uses master seed `base.seed + j`, and
+/// Seeding: parameter index `j` uses master seed
+/// [`point_seed(base.seed, j)`](balloc_core::rng::point_seed), and
 /// repetitions within a parameter derive their seeds as in
-/// [`repeat`] — everything is reproducible and independent of
-/// `threads`.
+/// [`repeat`](crate::repeat) — everything is reproducible and independent
+/// of `threads`, and sweeps run with nearby base seeds share no run seeds.
+///
+/// The full `params × runs` grid is scheduled as one flattened task set on
+/// the work-stealing pool.
 ///
 /// # Panics
 ///
@@ -95,15 +106,40 @@ where
     P: Process,
     F: Fn(f64) -> P + Sync,
 {
+    sweep_traced(params, factory, base, runs, threads, Checkpoints::None)
+}
+
+/// [`sweep`] with gap traces recorded at the given checkpoints.
+///
+/// Each [`RunResult`] inside the returned points carries its trace, so
+/// figure binaries can plot gap-vs-step curves per parameter value without
+/// a second pass.
+///
+/// # Panics
+///
+/// Panics if `params` is empty, `runs == 0`, or `threads == 0`.
+#[must_use]
+pub fn sweep_traced<P, F>(
+    params: &[f64],
+    factory: F,
+    base: RunConfig,
+    runs: usize,
+    threads: usize,
+    checkpoints: Checkpoints,
+) -> Vec<SweepPoint>
+where
+    P: Process,
+    F: Fn(f64) -> P + Sync,
+{
     assert!(!params.is_empty(), "sweep needs at least one parameter");
+    let configs: Vec<RunConfig> = (0..params.len())
+        .map(|j| base.with_seed(point_seed(base.seed, j as u64)))
+        .collect();
+    let blocks = repeat_grid_traced(&configs, |j| factory(params[j]), runs, threads, checkpoints);
     params
         .iter()
-        .enumerate()
-        .map(|(j, &param)| {
-            let point_base = base.with_seed(base.seed.wrapping_add(j as u64));
-            let results = repeat(|| factory(param), point_base, runs, threads);
-            SweepPoint::from_results(param, results)
-        })
+        .zip(blocks)
+        .map(|(&param, results)| SweepPoint::from_results(param, results))
         .collect()
 }
 
@@ -119,6 +155,7 @@ pub fn series(points: &[SweepPoint]) -> (Vec<f64>, Vec<f64>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::repeat;
     use balloc_core::TwoChoice;
 
     #[test]
@@ -161,6 +198,52 @@ mod tests {
             points[0].results[0].config.seed,
             points[1].results[0].config.seed
         );
+    }
+
+    #[test]
+    fn adjacent_base_seeds_share_no_run_seeds() {
+        // Regression for the sweep seed-overlap bug: with per-point masters
+        // derived as `base + j`, the sweeps at base seeds 1000 and 1001
+        // shared all but one per-point master (and hence whole seed blocks).
+        let params = [1.0, 2.0, 3.0, 4.0];
+        let base = RunConfig::new(16, 160, 1_000);
+        let a = sweep(&params, |_| TwoChoice::classic(), base, 4, 1);
+        let b = sweep(
+            &params,
+            |_| TwoChoice::classic(),
+            base.with_seed(1_001),
+            4,
+            1,
+        );
+        let seeds = |points: &[SweepPoint]| -> Vec<u64> {
+            points
+                .iter()
+                .flat_map(|p| p.results.iter().map(|r| r.config.seed))
+                .collect()
+        };
+        let (sa, sb) = (seeds(&a), seeds(&b));
+        for s in &sa {
+            assert!(!sb.contains(s), "run seed {s} appears in both sweeps");
+        }
+    }
+
+    #[test]
+    fn traced_sweep_carries_checkpoints() {
+        let base = RunConfig::new(16, 320, 9);
+        let points = sweep_traced(
+            &[1.0, 2.0],
+            |_| TwoChoice::classic(),
+            base,
+            3,
+            2,
+            Checkpoints::Linear(4),
+        );
+        for point in &points {
+            for result in &point.results {
+                assert_eq!(result.trace.len(), 4);
+                assert_eq!(result.trace.last().unwrap().step, 320);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! The per-worker job deque.
+//!
+//! Each worker owns one [`JobDeque`] holding task indices. The owner pops
+//! from the **front** (preserving the cache-friendly ascending-index order
+//! of its initial block), while idle workers steal **half** of a victim's
+//! remaining jobs from the **back** — the classic work-stealing split that
+//! keeps steal frequency logarithmic in the task count.
+//!
+//! The deque is a sharded-lock design rather than a lock-free Chase–Lev
+//! array: every deque has its own short-critical-section [`Mutex`], so the
+//! owner and at most one thief contend per deque and the workspace keeps
+//! its `#![forbid(unsafe_code)]` hygiene. Locks are never nested — a thief
+//! drains the victim under one lock, releases it, and only then refills its
+//! own deque — so the scheme is trivially deadlock-free.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A single worker's job queue of task indices.
+///
+/// # Examples
+///
+/// ```
+/// use workpool::deque::JobDeque;
+///
+/// let deque = JobDeque::new();
+/// deque.push(0);
+/// deque.push(1);
+/// assert_eq!(deque.len(), 2);
+/// assert_eq!(deque.pop(), Some(0));
+/// ```
+#[derive(Debug, Default)]
+pub struct JobDeque {
+    jobs: Mutex<VecDeque<usize>>,
+}
+
+impl JobDeque {
+    /// Creates an empty deque.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a deque pre-loaded with a contiguous block of task indices.
+    #[must_use]
+    pub fn with_block(range: std::ops::Range<usize>) -> Self {
+        Self {
+            jobs: Mutex::new(range.collect()),
+        }
+    }
+
+    /// Appends a job at the back (owner side of the initial fill).
+    pub fn push(&self, job: usize) {
+        self.lock().push_back(job);
+    }
+
+    /// Pops the next job from the front (owner side).
+    pub fn pop(&self) -> Option<usize> {
+        self.lock().pop_front()
+    }
+
+    /// Number of queued jobs.
+    ///
+    /// The value is a snapshot: it may be stale by the time the caller acts
+    /// on it, which is fine for heuristics like victim selection.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the deque is currently empty (snapshot, like [`len`](Self::len)).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Appends a batch of jobs under a single lock acquisition (the
+    /// publication side of a steal).
+    pub fn extend(&self, jobs: impl IntoIterator<Item = usize>) {
+        self.lock().extend(jobs);
+    }
+
+    /// Removes roughly half of this deque's jobs from the back (rounded
+    /// up), returning them; empty when there was nothing to steal.
+    ///
+    /// Removal and publication are deliberately two separate calls — the
+    /// thief [`extend`](Self::extend)s its own deque afterwards — so the
+    /// victim and destination locks are never nested. The pool brackets the
+    /// pair with its transfer counters to keep the in-transit batch visible
+    /// to the retirement protocol.
+    #[must_use]
+    pub fn steal_half(&self) -> VecDeque<usize> {
+        let mut jobs = self.lock();
+        let keep = jobs.len() - jobs.len().div_ceil(2);
+        jobs.split_off(keep)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<usize>> {
+        // A worker panicking inside `f` aborts the whole parallel region via
+        // scope unwinding; recovering the queue contents is pointless then.
+        self.jobs.lock().expect("job deque mutex poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_for_owner() {
+        let d = JobDeque::new();
+        for i in 0..4 {
+            d.push(i);
+        }
+        assert_eq!(
+            (0..4).map(|_| d.pop()).collect::<Vec<_>>(),
+            vec![Some(0), Some(1), Some(2), Some(3)]
+        );
+        assert_eq!(d.pop(), None);
+    }
+
+    #[test]
+    fn with_block_preloads_range() {
+        let d = JobDeque::with_block(3..6);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.pop(), Some(3));
+    }
+
+    #[test]
+    fn steal_takes_back_half() {
+        let victim = JobDeque::with_block(0..6);
+        let thief = JobDeque::new();
+        // Back half of [0..6) is {3, 4, 5}.
+        let batch = victim.steal_half();
+        assert_eq!(batch, [3, 4, 5]);
+        assert_eq!(victim.len(), 3);
+        thief.extend(batch);
+        assert_eq!(thief.pop(), Some(3));
+        assert_eq!(thief.len(), 2);
+    }
+
+    #[test]
+    fn steal_single_job() {
+        let victim = JobDeque::with_block(7..8);
+        assert_eq!(victim.steal_half(), [7]);
+        assert!(victim.is_empty());
+    }
+
+    #[test]
+    fn steal_from_empty_is_empty() {
+        let victim = JobDeque::new();
+        assert!(victim.steal_half().is_empty());
+    }
+}

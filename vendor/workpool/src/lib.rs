@@ -1,0 +1,37 @@
+//! Vendored work-stealing scoped thread pool.
+//!
+//! Like the other `vendor/` crates this is a dependency-free (registry-wise)
+//! stand-in, but unlike them it is not stubbing a crates.io API: it is the
+//! workspace's own execution engine, built for one job — running a large,
+//! statically known set of independent simulation tasks on all cores with
+//! **deterministic, index-ordered results**.
+//!
+//! Design (see the module docs for details):
+//!
+//! * [`deque::JobDeque`] — one mutex-sharded deque per worker; owners pop
+//!   from the front, idle workers steal half a victim's jobs from the back;
+//! * [`par_map_indexed`] — scoped spawn (`f` may borrow locals), per-worker
+//!   result buffers merged into pre-sized index slots at join time, so
+//!   collection never funnels through a shared `Mutex<Vec<_>>`;
+//! * [`Pool`] — a copyable handle carrying a resolved thread count.
+//!
+//! The hard contract relied on by `balloc_sim`: for every thread count the
+//! result of [`par_map_indexed`] equals the sequential map, element for
+//! element.
+//!
+//! # Examples
+//!
+//! ```
+//! let gaps = workpool::par_map_indexed(8, 100, |i| (i as f64).sqrt());
+//! assert_eq!(gaps.len(), 100);
+//! assert_eq!(gaps[81], 9.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod deque;
+mod pool;
+
+pub use pool::{par_map_indexed, Pool};

@@ -1,0 +1,318 @@
+//! The scoped work-stealing execution engine.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam::utils::CachePadded;
+
+use crate::deque::JobDeque;
+
+/// Bookkeeping for in-flight steal transfers.
+///
+/// Between a thief removing a batch from its victim and publishing it into
+/// its own deque, the batch belongs to **no** deque — an all-deques-empty
+/// scan alone could therefore retire a worker while half the grid is still
+/// in transit. The counters make that window observable: a worker may
+/// retire only if its empty scan was *quiescent* — no transfer active when
+/// the scan began and none started by the time it ended. No user code runs
+/// inside the counted window, so a panicking task can never strand the
+/// counters (workers drain and exit normally, and the panic propagates at
+/// join).
+#[derive(Debug, Default)]
+struct Transfers {
+    started: AtomicUsize,
+    finished: AtomicUsize,
+}
+
+impl Transfers {
+    fn begin(&self) {
+        self.started.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn end(&self) {
+        self.finished.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// `(active, started)` snapshot. `finished` is read first so a transfer
+    /// completing between the two loads shows up as still active —
+    /// conservative in the right direction for the retirement check.
+    fn snapshot(&self) -> (usize, usize) {
+        let finished = self.finished.load(Ordering::SeqCst);
+        let started = self.started.load(Ordering::SeqCst);
+        (started - finished, started)
+    }
+}
+
+/// Maps `0..count` through `f` on `threads` work-stealing workers,
+/// returning the results in index order.
+///
+/// The output is **byte-identical to the sequential map** `(0..count).map(f)`
+/// for every thread count: each worker accumulates `(index, value)` pairs in
+/// a private buffer — the hot path never touches a shared results mutex —
+/// and the buffers are merged into pre-sized slots on the calling thread at
+/// join time. Scheduling only decides *which worker* computes a task, never
+/// *what* it computes.
+///
+/// Scheduling: the task indices are split into contiguous blocks, one per
+/// worker. Each worker drains its own deque front-to-back; a worker that
+/// runs dry scans the other deques (starting at its right neighbour) and
+/// steals half of the first non-empty victim's remaining jobs. A worker
+/// retires after a *quiescent* empty scan — every deque empty and no steal
+/// transfer active around the scan (tracked by the internal transfer
+/// counters) — so it neither exits while stolen work is in transit nor
+/// spins while another worker finishes a long final task.
+///
+/// Workers are spawned per call via [`std::thread::scope`], which is what
+/// lets `f` borrow from the caller's stack without `'static` bounds; spawn
+/// cost is microseconds against simulation tasks that run for milliseconds
+/// to minutes.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, or propagates the first panic raised by `f`.
+///
+/// # Examples
+///
+/// ```
+/// let squares = workpool::par_map_indexed(4, 10, |i| i * i);
+/// assert_eq!(squares, (0..10).map(|i| i * i).collect::<Vec<_>>());
+/// ```
+pub fn par_map_indexed<T, F>(threads: usize, count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    let threads = threads.min(count);
+    if threads <= 1 {
+        return (0..count).map(f).collect();
+    }
+
+    // Contiguous initial blocks, padded to defeat false sharing between
+    // adjacent workers' queue locks.
+    let deques: Vec<CachePadded<JobDeque>> = (0..threads)
+        .map(|w| {
+            CachePadded::new(JobDeque::with_block(
+                w * count / threads..(w + 1) * count / threads,
+            ))
+        })
+        .collect();
+
+    let transfers = Transfers::default();
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|w| {
+                let deques = &deques;
+                let transfers = &transfers;
+                let f = &f;
+                scope.spawn(move || {
+                    let mine = &deques[w];
+                    let mut local = Vec::new();
+                    loop {
+                        if let Some(i) = mine.pop() {
+                            local.push((i, f(i)));
+                            continue;
+                        }
+                        let (active, started) = transfers.snapshot();
+                        let refilled = (1..threads).any(|k| {
+                            let victim = &deques[(w + k) % threads];
+                            if victim.is_empty() {
+                                return false;
+                            }
+                            transfers.begin();
+                            let batch = victim.steal_half();
+                            let refilled = !batch.is_empty();
+                            mine.extend(batch);
+                            transfers.end();
+                            refilled
+                        });
+                        if refilled {
+                            continue;
+                        }
+                        // Quiescent empty scan: no transfer was in flight
+                        // when the scan began and none started since, so
+                        // nothing can surface in a deque this worker has
+                        // already passed — safe to retire.
+                        if active == 0 && transfers.snapshot().1 == started {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    local
+                })
+            })
+            .collect();
+        for worker in workers {
+            match worker.join() {
+                Ok(local) => {
+                    for (i, value) in local {
+                        debug_assert!(slots[i].is_none(), "task {i} scheduled twice");
+                        slots[i] = Some(value);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every task completed before scope join"))
+        .collect()
+}
+
+/// A configured work-stealing pool.
+///
+/// The pool is a lightweight handle (worker threads are scoped to each
+/// parallel region, see [`par_map_indexed`]); it exists so callers can
+/// resolve a `--threads`-style setting once and pass one value around.
+///
+/// # Examples
+///
+/// ```
+/// use workpool::Pool;
+///
+/// let pool = Pool::new(2);
+/// assert_eq!(pool.threads(), 2);
+/// let doubled = pool.map_indexed(5, |i| 2 * i);
+/// assert_eq!(doubled, vec![0, 2, 4, 6, 8]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// Creates a pool that runs parallel regions on `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        Self { threads }
+    }
+
+    /// Creates a pool sized to the machine's available parallelism.
+    #[must_use]
+    pub fn with_available_parallelism() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// The number of worker threads per parallel region.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// [`par_map_indexed`] on this pool's worker count.
+    pub fn map_indexed<T, F>(&self, count: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        par_map_indexed(self.threads, count, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map() {
+        for threads in [1usize, 2, 3, 8] {
+            for count in [0usize, 1, 2, 7, 64, 257] {
+                let par = par_map_indexed(threads, count, |i| i * 3 + 1);
+                let seq: Vec<usize> = (0..count).map(|i| i * 3 + 1).collect();
+                assert_eq!(par, seq, "threads = {threads}, count = {count}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = par_map_indexed(4, 1000, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn uneven_tasks_get_stolen() {
+        // Front-loaded cost: worker 0's block is ~100× the others, so the
+        // run only finishes promptly if other workers steal from it. We
+        // assert correctness; timing is covered by the scheduling bench.
+        let out = par_map_indexed(4, 64, |i| {
+            let spins = if i < 16 { 200_000 } else { 2_000 };
+            (0..spins).fold(i as u64, |acc, _| acc.wrapping_mul(6364136223846793005))
+        });
+        let seq: Vec<u64> = (0..64)
+            .map(|i: usize| {
+                let spins = if i < 16 { 200_000 } else { 2_000 };
+                (0..spins).fold(i as u64, |acc, _| acc.wrapping_mul(6364136223846793005))
+            })
+            .collect();
+        assert_eq!(out, seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom at 37")]
+    fn task_panic_propagates_instead_of_hanging() {
+        // Regression: with task-completion counting, a panicking task left
+        // the counter non-zero and the surviving workers spun forever. The
+        // quiescence protocol lets them drain and retire, and the panic
+        // payload surfaces at join.
+        let _ = par_map_indexed(4, 100, |i| {
+            assert!(i != 37, "boom at {i}");
+            i
+        });
+    }
+
+    #[test]
+    fn more_threads_than_tasks() {
+        let out = par_map_indexed(16, 3, |i| i + 10);
+        assert_eq!(out, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn zero_tasks_is_empty() {
+        let out: Vec<usize> = par_map_indexed(8, 0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let _ = par_map_indexed(0, 4, |i| i);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_thread_pool_rejected() {
+        let _ = Pool::new(0);
+    }
+
+    #[test]
+    fn pool_reports_configuration() {
+        assert_eq!(Pool::new(3).threads(), 3);
+        assert!(Pool::with_available_parallelism().threads() >= 1);
+    }
+
+    #[test]
+    fn borrows_from_caller_without_static() {
+        let data: Vec<u64> = (0..100).map(|i| i * 7).collect();
+        let sums = par_map_indexed(3, 10, |i| data[10 * i..10 * (i + 1)].iter().sum::<u64>());
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+}
