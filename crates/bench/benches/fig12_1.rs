@@ -1,6 +1,6 @@
 //! Criterion benchmark for the **Figure 12.1** kernel: time to produce one
 //! sweep point (one process at one noise level, several repetitions) at a
-//! reduced scale. `cargo run -p balloc-bench --bin fig12_1` regenerates the
+//! reduced scale. `balloc fig12_1` regenerates the
 //! full figure.
 
 use balloc_noise::{GBounded, GMyopic, SigmaNoisyLoad};

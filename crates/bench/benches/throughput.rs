@@ -3,7 +3,7 @@
 //! Each benchmark allocates `m = 10·n` balls into `n = 10⁴` bins; Criterion
 //! reports time per iteration (one full run), so divide by `m` for the
 //! per-ball cost. These benches track the hot-loop performance the
-//! experiment binaries depend on.
+//! experiments depend on.
 
 use balloc_core::{LoadState, Process, Rng, TwoChoice};
 use balloc_noise::{

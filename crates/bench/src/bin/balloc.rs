@@ -1,0 +1,7 @@
+//! The unified experiment CLI: `balloc list`, `balloc <experiment>`,
+//! `balloc all`. See `balloc_bench::cli` for the driver and
+//! `balloc_bench::experiments` for the registry.
+
+fn main() {
+    std::process::exit(balloc_bench::cli::run(std::env::args().skip(1).collect()));
+}

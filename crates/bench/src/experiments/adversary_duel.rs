@@ -1,0 +1,140 @@
+//! Ablation **A4**: how much does the adversary's *strategy* matter within
+//! the same `g-Adv-Comp` budget?
+//!
+//! All strategies below are instances of `g-Adv-Comp` with the same `g`,
+//! so Theorem 5.12/9.2 bounds them all; the measured spread shows how far
+//! the named instances (`g-Bounded` = greedy, `g-Myopic-Comp` = random)
+//! sit from weaker and stronger-looking policies.
+
+use balloc_core::TwoChoice;
+use balloc_noise::{
+    AdvComp, CorrectAll, OverloadSeeking, ReverseAll, ReverseWithProbability, UniformRandom,
+};
+use balloc_sim::{repeat, OutputSink, Report, RunConfig, SweepPoint, TextTable};
+use serde::Serialize;
+
+use crate::{emit_header, experiment_seed, fmt3, BenchError, CommonArgs};
+
+use super::Experiment;
+
+#[derive(Serialize)]
+struct AdversaryDuelArtifact {
+    scale: String,
+    g_values: Vec<u64>,
+    strategies: Vec<String>,
+    mean_gaps: Vec<Vec<f64>>, // [strategy][g]
+}
+
+/// `balloc adversary_duel` — see the module docs.
+pub struct AdversaryDuel;
+
+impl Experiment for AdversaryDuel {
+    fn id(&self) -> &'static str {
+        "adversary_duel"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Ablation A4 (Theorems 5.12, 9.2)"
+    }
+
+    fn description(&self) -> &'static str {
+        "gap under different g-Adv-Comp adversary strategies with the same budget g"
+    }
+
+    fn run(&self, args: &CommonArgs, sink: &mut OutputSink) -> Result<Report, BenchError> {
+        emit_header(sink, "A4", "adversary strategy strength", args);
+
+        let g_values = [2u64, 4, 8, 16, 32];
+        let names = [
+            "CorrectAll (no noise)",
+            "ReverseWithProb(0.25)",
+            "UniformRandom (g-Myopic)",
+            "ReverseWithProb(0.75)",
+            "OverloadSeeking",
+            "ReverseAll (g-Bounded)",
+        ];
+
+        let mut mean_gaps: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
+        for (j, &g) in g_values.iter().enumerate() {
+            let base = RunConfig::new(
+                args.n,
+                args.m(),
+                balloc_core::rng::point_seed(
+                    experiment_seed("adversary_duel", args.seed),
+                    j as u64,
+                ),
+            );
+            let gaps_for = |s: usize| -> f64 {
+                let results = match s {
+                    0 => repeat(
+                        || TwoChoice::new(AdvComp::new(g, CorrectAll)),
+                        base,
+                        args.runs,
+                        args.threads,
+                    ),
+                    1 => repeat(
+                        || TwoChoice::new(AdvComp::new(g, ReverseWithProbability::new(0.25))),
+                        base,
+                        args.runs,
+                        args.threads,
+                    ),
+                    2 => repeat(
+                        || TwoChoice::new(AdvComp::new(g, UniformRandom)),
+                        base,
+                        args.runs,
+                        args.threads,
+                    ),
+                    3 => repeat(
+                        || TwoChoice::new(AdvComp::new(g, ReverseWithProbability::new(0.75))),
+                        base,
+                        args.runs,
+                        args.threads,
+                    ),
+                    4 => repeat(
+                        || TwoChoice::new(AdvComp::new(g, OverloadSeeking)),
+                        base,
+                        args.runs,
+                        args.threads,
+                    ),
+                    _ => repeat(
+                        || TwoChoice::new(AdvComp::new(g, ReverseAll)),
+                        base,
+                        args.runs,
+                        args.threads,
+                    ),
+                };
+                SweepPoint::from_results(g as f64, results).mean_gap
+            };
+            for (s, gaps) in mean_gaps.iter_mut().enumerate() {
+                gaps.push(gaps_for(s));
+            }
+        }
+
+        let mut table = TextTable::new(
+            std::iter::once("strategy".to_string())
+                .chain(g_values.iter().map(|g| format!("g = {g}")))
+                .collect(),
+        );
+        for (s, name) in names.iter().enumerate() {
+            table.push_row(
+                std::iter::once((*name).to_string())
+                    .chain(mean_gaps[s].iter().map(|v| fmt3(*v)))
+                    .collect(),
+            );
+        }
+        sink.table("strategy_vs_g", table);
+
+        sink.line("expected ordering at each g: CorrectAll <= p=0.25 <= UniformRandom <= p=0.75 <= ReverseAll,");
+        sink.line("with OverloadSeeking between UniformRandom and ReverseAll.");
+
+        let artifact = AdversaryDuelArtifact {
+            scale: args.scale_line(),
+            g_values: g_values.to_vec(),
+            strategies: names.iter().map(|s| s.to_string()).collect(),
+            mean_gaps,
+        };
+        sink.blank();
+        sink.save_artifact(&artifact);
+        Ok(sink.take_report())
+    }
+}

@@ -1,0 +1,92 @@
+//! The experiment registry behind the `balloc` CLI.
+//!
+//! Each module reproduces one figure, table, or ablation of the paper as
+//! an [`Experiment`] implementation. Experiments are pure library code:
+//! they read parameters from [`CommonArgs`] (plus their declared
+//! [`FlagSpec`] extras), emit every line and table through an
+//! [`OutputSink`], and return the accumulated [`Report`] — so the same
+//! code renders human text, `--json`, and `--csv`, and the north-star
+//! serving front-end can call them in-process without spawning binaries.
+
+use balloc_sim::{OutputSink, Report};
+
+use crate::{BenchError, CommonArgs, FlagSpec};
+
+mod adversary_duel;
+mod delay_vs_batch;
+mod fig12_1;
+mod fig12_2;
+mod fig4_1;
+mod layer_decay;
+mod multicounter_quality;
+mod phase_transition;
+mod potential_drop;
+mod queueing_stale;
+mod recovery;
+mod rho_curves;
+mod table11_1;
+mod table12_3;
+mod table12_4;
+mod table2_3;
+
+/// One registered experiment: a paper figure/table reproduction or an
+/// ablation, runnable as `balloc <id>`.
+pub trait Experiment: Sync {
+    /// Subcommand id (`fig12_1`, `delay_vs_batch`, …).
+    fn id(&self) -> &'static str;
+
+    /// The paper artifact this reproduces (`"Figure 12.1"`, `"Table
+    /// 11.1"`, or `"Ablation A2 (Theorem 10.2 …)"` for experiments beyond
+    /// the paper's own figures).
+    fn paper_ref(&self) -> &'static str;
+
+    /// One-line description shown by `balloc list`.
+    fn description(&self) -> &'static str;
+
+    /// Experiment-specific flags, parsed alongside the common ones.
+    fn extra_flags(&self) -> &'static [FlagSpec] {
+        &[]
+    }
+
+    /// Runs the experiment, emitting through `sink`, and returns the
+    /// accumulated report (`sink.take_report()`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Run`] on runtime failure; emission itself is
+    /// infallible.
+    fn run(&self, args: &CommonArgs, sink: &mut OutputSink) -> Result<Report, BenchError>;
+}
+
+/// Every registered experiment, in paper order (figures and tables first,
+/// then the ablations) — the order `balloc list` and `balloc all` use.
+static REGISTRY: &[&dyn Experiment] = &[
+    &rho_curves::RhoCurves,
+    &fig4_1::Fig4_1,
+    &recovery::Recovery,
+    &table2_3::Table2_3,
+    &table11_1::Table11_1,
+    &fig12_1::Fig12_1,
+    &fig12_2::Fig12_2,
+    &table12_3::Table12_3,
+    &table12_4::Table12_4,
+    &phase_transition::PhaseTransition,
+    &delay_vs_batch::DelayVsBatch,
+    &potential_drop::PotentialDrop,
+    &adversary_duel::AdversaryDuel,
+    &multicounter_quality::MulticounterQuality,
+    &queueing_stale::QueueingStale,
+    &layer_decay::LayerDecay,
+];
+
+/// All registered experiments, in `balloc list` order.
+#[must_use]
+pub fn registry() -> &'static [&'static dyn Experiment] {
+    REGISTRY
+}
+
+/// Looks up an experiment by subcommand id.
+#[must_use]
+pub fn find(id: &str) -> Option<&'static dyn Experiment> {
+    REGISTRY.iter().copied().find(|e| e.id() == id)
+}

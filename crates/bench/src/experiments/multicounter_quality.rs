@@ -1,0 +1,186 @@
+//! Ablation **A5**: quality of the relaxed concurrent multi-counter under
+//! contention.
+//!
+//! The paper cites the multi-counter of \[3, 44\] as the application of its
+//! `g-Adv-Comp` bounds. This experiment measures the structure's quality
+//! (max cell − average cell) across thread counts and snapshot-refresh
+//! intervals, alongside the `b-Batch` theory term with `b = threads ·
+//! refresh`.
+
+use balloc_analysis::bounds::batch_gap;
+use balloc_core::Rng;
+use balloc_multicounter::MultiCounter;
+use balloc_sim::{OutputSink, Report, TextTable};
+use serde::Serialize;
+
+use crate::{emit_header, experiment_seed, fmt3, BenchError, CommonArgs, FlagKind, FlagSpec};
+
+use super::Experiment;
+
+#[derive(Serialize)]
+struct QualityPoint {
+    threads: u64,
+    refresh: usize,
+    quality: f64,
+    theory_term: f64,
+}
+
+#[derive(Serialize)]
+struct MulticounterQualityArtifact {
+    scale: String,
+    width: usize,
+    increments: u64,
+    live_reads: Vec<QualityPoint>,
+    cached_reads: Vec<QualityPoint>,
+}
+
+/// `balloc multicounter_quality` — see the module docs.
+pub struct MulticounterQuality;
+
+impl Experiment for MulticounterQuality {
+    fn id(&self) -> &'static str {
+        "multicounter_quality"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Ablation A5 (multi-counter application of [3], [44])"
+    }
+
+    fn description(&self) -> &'static str {
+        "quality (max - avg cell) of the two-choice multi-counter under contention"
+    }
+
+    fn extra_flags(&self) -> &'static [FlagSpec] {
+        &[
+            FlagSpec {
+                name: "--width",
+                kind: FlagKind::U64,
+                positive: true,
+                default: "256",
+                help: "number of counter cells",
+            },
+            FlagSpec {
+                name: "--increments",
+                kind: FlagKind::U64,
+                positive: true,
+                default: "200000",
+                help: "increments per thread",
+            },
+        ]
+    }
+
+    fn run(&self, args: &CommonArgs, sink: &mut OutputSink) -> Result<Report, BenchError> {
+        emit_header(sink, "A5", "multi-counter quality", args);
+
+        let width = args.extras.u64("--width").unwrap_or(256) as usize;
+        if width < 2 {
+            return Err(BenchError::Usage("--width must be at least 2".into()));
+        }
+        let per_thread = args.extras.u64("--increments").unwrap_or(200_000);
+        let mut live = Vec::new();
+        let mut cached = Vec::new();
+
+        // Live reads: staleness comes from racing threads (τ ≈ #threads).
+        for threads in [1u64, 2, 4, 8] {
+            let counter = MultiCounter::new(width);
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let counter = &counter;
+                    let seed = experiment_seed("multicounter_quality/live", args.seed) + t;
+                    scope.spawn(move || {
+                        let mut rng = Rng::from_seed(seed);
+                        for _ in 0..per_thread {
+                            counter.increment(&mut rng);
+                        }
+                    });
+                }
+            });
+            if counter.value() != threads * per_thread {
+                return Err(BenchError::Run(format!(
+                    "multi-counter lost increments: expected {}, counted {}",
+                    threads * per_thread,
+                    counter.value()
+                )));
+            }
+            live.push(QualityPoint {
+                threads,
+                refresh: 0,
+                quality: counter.quality(),
+                theory_term: batch_gap(width as u64, threads.max(1)),
+            });
+        }
+
+        // Cached reads: per-thread snapshots refreshed every R increments
+        // (the b-Batch regime with b ≈ threads·R).
+        for refresh in [16usize, 64, 256, 1024] {
+            let threads = 4u64;
+            let counter = MultiCounter::new(width);
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let counter = &counter;
+                    let seed = experiment_seed("multicounter_quality/refresh", args.seed) + t;
+                    scope.spawn(move || {
+                        let mut handle = counter.cached_handle(refresh, seed);
+                        for _ in 0..per_thread {
+                            handle.increment();
+                        }
+                    });
+                }
+            });
+            if counter.value() != threads * per_thread {
+                return Err(BenchError::Run(format!(
+                    "multi-counter lost increments: expected {}, counted {}",
+                    threads * per_thread,
+                    counter.value()
+                )));
+            }
+            cached.push(QualityPoint {
+                threads,
+                refresh,
+                quality: counter.quality(),
+                theory_term: batch_gap(width as u64, (threads * refresh as u64).max(1)),
+            });
+        }
+
+        let mut t1 = TextTable::new(vec![
+            "threads (live reads)".into(),
+            "quality".into(),
+            "b-Batch term (b=threads)".into(),
+        ]);
+        for p in &live {
+            t1.push_row(vec![
+                p.threads.to_string(),
+                fmt3(p.quality),
+                fmt3(p.theory_term),
+            ]);
+        }
+        sink.table("live_reads", t1);
+
+        let mut t2 = TextTable::new(vec![
+            "refresh (4 threads)".into(),
+            "quality".into(),
+            "b-Batch term (b=4*refresh)".into(),
+        ]);
+        for p in &cached {
+            t2.push_row(vec![
+                p.refresh.to_string(),
+                fmt3(p.quality),
+                fmt3(p.theory_term),
+            ]);
+        }
+        sink.table("cached_reads", t2);
+
+        sink.line("expected: quality grows slowly with contention/staleness, tracking the b-Batch law.");
+
+        let artifact = MulticounterQualityArtifact {
+            scale: args.scale_line(),
+            width,
+            increments: per_thread,
+            live_reads: live,
+            cached_reads: cached,
+        };
+        sink.blank();
+        sink.save_artifact(&artifact);
+        Ok(sink.take_report())
+    }
+}

@@ -1,0 +1,146 @@
+//! Ablation **A1**: the phase transition of the `g-Adv-Comp` gap.
+//!
+//! The paper's headline: `Gap(m) = Θ(g/log g · log log n + g)` — below
+//! `g ≈ polylog(n)` the gap grows *sublinearly* in `g`
+//! (`g/log g · log log n`, Theorem 9.2 + Theorem 11.3), above it the
+//! growth is *linear* (`Θ(g)`, Theorem 5.12 + Proposition 11.2).
+//!
+//! This experiment sweeps `g` over a wide range for `g-Bounded` and
+//! `g-Myopic-Comp`, fits both growth laws on both halves of the range,
+//! and reports which law explains which regime better.
+
+use balloc_analysis::bounds::adv_comp_upper_sublog;
+use balloc_analysis::fit::{fit_against, mean_ratio};
+use balloc_noise::{GBounded, GMyopic};
+use balloc_sim::{sweep, OutputSink, Report, RunConfig, SweepPoint, TextTable};
+use serde::Serialize;
+
+use crate::{emit_header, experiment_seed, fmt3, BenchError, CommonArgs};
+
+use super::Experiment;
+
+#[derive(Serialize)]
+struct PhaseTransitionArtifact {
+    scale: String,
+    params: Vec<f64>,
+    bounded: Vec<SweepPoint>,
+    myopic: Vec<SweepPoint>,
+    linear_fit_r2_tail: f64,
+    sublog_fit_r2_head: f64,
+}
+
+/// `balloc phase_transition` — see the module docs.
+pub struct PhaseTransition;
+
+impl Experiment for PhaseTransition {
+    fn id(&self) -> &'static str {
+        "phase_transition"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Ablation A1 (Theorems 5.12, 9.2; Proposition 11.2, Theorem 11.3)"
+    }
+
+    fn description(&self) -> &'static str {
+        "gap vs g across the sublinear and linear regimes of g-Adv-Comp"
+    }
+
+    fn run(&self, args: &CommonArgs, sink: &mut OutputSink) -> Result<Report, BenchError> {
+        emit_header(sink, "A1", "phase transition in g", args);
+
+        let params: Vec<f64> = [1u64, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64]
+            .into_iter()
+            .map(|g| g as f64)
+            .collect();
+        let base = RunConfig::new(
+            args.n,
+            args.m(),
+            experiment_seed("phase_transition/bounded", args.seed),
+        );
+
+        let bounded = sweep(
+            &params,
+            |g| GBounded::new(g as u64),
+            base,
+            args.runs,
+            args.threads,
+        );
+        let myopic = sweep(
+            &params,
+            |g| GMyopic::new(g as u64),
+            base.with_seed(experiment_seed("phase_transition/myopic", args.seed)),
+            args.runs,
+            args.threads,
+        );
+
+        let n = args.n as u64;
+        let mut table = TextTable::new(vec![
+            "g".into(),
+            "g-Bounded".into(),
+            "g-Myopic".into(),
+            "sublog term".into(),
+            "linear term (g)".into(),
+            "bounded/g".into(),
+        ]);
+        for i in 0..params.len() {
+            let g = params[i] as u64;
+            table.push_row(vec![
+                g.to_string(),
+                fmt3(bounded[i].mean_gap),
+                fmt3(myopic[i].mean_gap),
+                fmt3(adv_comp_upper_sublog(n, g)),
+                fmt3(g as f64),
+                fmt3(bounded[i].mean_gap / g as f64),
+            ]);
+        }
+        sink.table("gap_vs_g", table);
+
+        // Regime fits on the g-Bounded series.
+        let means: Vec<f64> = bounded.iter().map(|p| p.mean_gap).collect();
+        let logn = (args.n as f64).ln();
+        let head: Vec<usize> = (0..params.len()).filter(|&i| params[i] <= logn).collect();
+        let tail: Vec<usize> = (0..params.len()).filter(|&i| params[i] > logn).collect();
+
+        let mut sublog_r2 = f64::NAN;
+        if head.len() >= 3 {
+            let x: Vec<f64> = head
+                .iter()
+                .map(|&i| adv_comp_upper_sublog(n, params[i] as u64))
+                .collect();
+            let y: Vec<f64> = head.iter().map(|&i| means[i]).collect();
+            let fit = fit_against(&y, &x);
+            sublog_r2 = fit.r_squared;
+            sink.line(format!(
+                "sublinear regime (g <= log n ≈ {:.1}): fit vs g/log g·loglog n → slope {} r² {}",
+                logn,
+                fmt3(fit.slope),
+                fmt3(fit.r_squared)
+            ));
+        }
+        let mut linear_r2 = f64::NAN;
+        if tail.len() >= 3 {
+            let x: Vec<f64> = tail.iter().map(|&i| params[i]).collect();
+            let y: Vec<f64> = tail.iter().map(|&i| means[i]).collect();
+            let fit = fit_against(&y, &x);
+            linear_r2 = fit.r_squared;
+            sink.line(format!(
+                "linear regime (g > log n): fit vs g → slope {} r² {}, mean gap/g ratio {}",
+                fmt3(fit.slope),
+                fmt3(fit.r_squared),
+                fmt3(mean_ratio(&y, &x))
+            ));
+        }
+
+        let artifact = PhaseTransitionArtifact {
+            scale: args.scale_line(),
+            params,
+            bounded,
+            myopic,
+            linear_fit_r2_tail: linear_r2,
+            sublog_fit_r2_head: sublog_r2,
+        };
+        sink.blank();
+        sink.save_artifact(&artifact);
+        Ok(sink.take_report())
+    }
+}

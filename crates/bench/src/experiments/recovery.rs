@@ -1,0 +1,184 @@
+//! Ablation **A6**: recovery and stabilization (the paper's Fig. 5.3).
+//!
+//! The Section 5 analysis splits into a *recovery* phase — from an
+//! arbitrary corrupted load vector, the potential (and gap) collapses
+//! within `O(n·g·(log ng)²)` steps — and a *stabilization* phase where it
+//! stays small. This experiment starts `g-Bounded` (and noiseless
+//! Two-Choice) from three corrupted initial vectors and traces the gap
+//! over time.
+
+use balloc_core::{Rng, TwoChoice};
+use balloc_noise::GBounded;
+use balloc_sim::{initial, run_on_state, Checkpoints, OutputSink, Report, TextTable, TracePoint};
+use serde::Serialize;
+
+use crate::{emit_header, experiment_seed, fmt3, BenchError, CommonArgs, FlagKind, FlagSpec};
+
+use super::Experiment;
+
+#[derive(Serialize)]
+struct RecoveryTrace {
+    scenario: String,
+    process: String,
+    initial_gap: f64,
+    trace: Vec<TracePoint>,
+}
+
+#[derive(Serialize)]
+struct RecoveryArtifact {
+    scale: String,
+    g: u64,
+    traces: Vec<RecoveryTrace>,
+}
+
+/// `balloc recovery` — see the module docs.
+pub struct Recovery;
+
+impl Experiment for Recovery {
+    fn id(&self) -> &'static str {
+        "recovery"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 5.3"
+    }
+
+    fn description(&self) -> &'static str {
+        "gap recovery from corrupted initial load vectors"
+    }
+
+    fn extra_flags(&self) -> &'static [FlagSpec] {
+        &[FlagSpec {
+            name: "--g",
+            kind: FlagKind::U64,
+            positive: true,
+            default: "4",
+            help: "g-Bounded noise budget",
+        }]
+    }
+
+    fn run(&self, args: &CommonArgs, sink: &mut OutputSink) -> Result<Report, BenchError> {
+        emit_header(sink, "A6", "recovery and stabilization", args);
+
+        let n = args.n;
+        let g = args.extras.u64("--g").unwrap_or(4);
+        let base = (args.m() / n as u64).max(10);
+
+        let scenarios: Vec<(String, balloc_core::LoadState)> = vec![
+            (
+                format!("tower(+{})", 4 * (n as f64).ln() as u64 * 10),
+                initial::tower(n, base, 4 * (n as f64).ln() as u64 * 10),
+            ),
+            (
+                "one-choice burn-in (m=20n)".to_string(),
+                initial::one_choice_start(
+                    n,
+                    20 * n as u64,
+                    experiment_seed("recovery/start", args.seed),
+                ),
+            ),
+            (
+                "cliff (n/10 bins +60)".to_string(),
+                initial::cliff(n, n / 10, base + 60, base),
+            ),
+        ];
+
+        let mut traces = Vec::new();
+        let noisy_label = format!("g-Bounded({g})");
+        for (name, start) in &scenarios {
+            for (pname, is_noisy) in [("Two-Choice", false), (noisy_label.as_str(), true)] {
+                let mut state = start.clone();
+                let initial_gap = state.gap();
+                // A single overloaded bin sheds gap at rate 1/n per step, so
+                // recovery from gap G needs ⩾ G·n steps; give 2× headroom plus
+                // a stabilization tail.
+                let steps = (2.0 * initial_gap * n as f64) as u64 + 20 * n as u64;
+                // Per-arm domain tag: each scenario × process pair gets its
+                // own stream (sharing one tag would replay identical
+                // randomness across arms presented as independent traces).
+                let mut rng = Rng::from_seed(experiment_seed(
+                    &format!("recovery/run/{name}/{pname}"),
+                    args.seed,
+                ));
+                let trace = if is_noisy {
+                    run_on_state(
+                        &mut GBounded::new(g),
+                        &mut state,
+                        steps,
+                        Checkpoints::Linear(10),
+                        &mut rng,
+                    )
+                } else {
+                    run_on_state(
+                        &mut TwoChoice::classic(),
+                        &mut state,
+                        steps,
+                        Checkpoints::Linear(10),
+                        &mut rng,
+                    )
+                };
+                traces.push(RecoveryTrace {
+                    scenario: name.clone(),
+                    process: pname.to_string(),
+                    initial_gap,
+                    trace,
+                });
+            }
+        }
+
+        for t in &traces {
+            sink.line(format!(
+                "{:<28} {:<14} gap: {} -> {}",
+                t.scenario,
+                t.process,
+                fmt3(t.initial_gap),
+                t.trace
+                    .iter()
+                    .map(|p| format!("{:.1}", p.gap))
+                    .collect::<Vec<_>>()
+                    .join(" -> ")
+            ));
+        }
+
+        sink.line("\nshape checks:");
+        let mut shadow = TextTable::new(vec![
+            "scenario".into(),
+            "process".into(),
+            "initial gap".into(),
+            "final gap".into(),
+            "recovered".into(),
+        ]);
+        for t in &traces {
+            let final_gap = t.trace.last().map(|p| p.gap).unwrap_or(f64::NAN);
+            let recovered = final_gap < t.initial_gap / 3.0 || final_gap < 30.0;
+            sink.line(format!(
+                "  {:<28} {:<14} recovered from {:.1} to {:.1}: {}",
+                t.scenario,
+                t.process,
+                t.initial_gap,
+                final_gap,
+                if recovered { "yes" } else { "NO" }
+            ));
+            shadow.push_row(vec![
+                t.scenario.clone(),
+                t.process.clone(),
+                format!("{:.1}", t.initial_gap),
+                format!("{:.1}", final_gap),
+                if recovered { "yes" } else { "NO" }.into(),
+            ]);
+        }
+        sink.shadow_table("recovery_summary", shadow);
+        sink.line("\nexpected: both processes collapse every corrupted start to their");
+        sink.line("O(g + log n) equilibrium within O(n·g·(log ng)²) steps (Lemma 5.9),");
+        sink.line("and the g-Bounded plateau sits O(g) above the noiseless one.");
+
+        let artifact = RecoveryArtifact {
+            scale: args.scale_line(),
+            g,
+            traces,
+        };
+        sink.blank();
+        sink.save_artifact(&artifact);
+        Ok(sink.take_report())
+    }
+}

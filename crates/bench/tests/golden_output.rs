@@ -1,0 +1,166 @@
+//! Golden tests for the output layer: the `--json` and `--csv` renderings
+//! of a fixed `Report` must stay byte-stable (downstream tooling parses
+//! them), and CSV escaping must round-trip every RFC 4180 edge case.
+
+use balloc_sim::{csv_escape, OutputMode, OutputSink, Report, TextTable};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct FixedArtifact {
+    scale: String,
+    params: Vec<u64>,
+    mean_gap: f64,
+}
+
+/// A fixed report, built exactly as an experiment would build it.
+fn fixed_report() -> Report {
+    let mut sink = OutputSink::new("demo_exp", OutputMode::Json).with_save_dir(None);
+    sink.line("== D1: demo experiment ==");
+    sink.blank();
+    let mut table = TextTable::new(vec!["g".into(), "gap".into()]);
+    table.push_row(vec!["1".into(), "4.200".into()]);
+    table.push_row(vec!["16".into(), "24.900".into()]);
+    sink.table("main", table);
+    let mut shadow = TextTable::new(vec!["note, quoted".into()]);
+    shadow.push_row(vec!["line1\nline2".into()]);
+    sink.shadow_table("notes", shadow);
+    sink.save_artifact(&FixedArtifact {
+        scale: "n = 8, m = 80".into(),
+        params: vec![1, 16],
+        mean_gap: 4.25,
+    });
+    sink.take_report()
+}
+
+#[test]
+fn json_rendering_is_stable() {
+    let expected = r#"{
+  "experiment": "demo_exp",
+  "paper_ref": "Figure 0.1",
+  "artifact": {
+    "scale": "n = 8, m = 80",
+    "params": [
+      1,
+      16
+    ],
+    "mean_gap": 4.25
+  }
+}"#;
+    assert_eq!(fixed_report().to_json("Figure 0.1"), expected);
+}
+
+#[test]
+fn csv_rendering_is_stable() {
+    let expected = "# demo_exp/main\n\
+                    g,gap\n\
+                    1,4.200\n\
+                    16,24.900\n\
+                    \n\
+                    # demo_exp/notes\n\
+                    \"note, quoted\"\n\
+                    \"line1\nline2\"\n";
+    assert_eq!(fixed_report().render_csv(), expected);
+}
+
+#[test]
+fn text_rendering_is_stable_and_skips_shadow_tables() {
+    let expected = "== D1: demo experiment ==\n\
+                    \n\
+                    g   gap\n\
+                    ----------\n\
+                    1   4.200\n\
+                    16  24.900\n\
+                    \n";
+    assert_eq!(fixed_report().render_text(), expected);
+}
+
+/// A minimal RFC 4180 reader: parses one CSV document into rows of cells,
+/// honoring quoted cells with embedded commas, quotes, and newlines.
+fn parse_csv(input: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row = Vec::new();
+    let mut cell = String::new();
+    let mut chars = input.chars().peekable();
+    let mut quoted = false;
+    while let Some(c) = chars.next() {
+        if quoted {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    cell.push('"');
+                }
+                '"' => quoted = false,
+                c => cell.push(c),
+            }
+        } else {
+            match c {
+                '"' => quoted = true,
+                ',' => row.push(std::mem::take(&mut cell)),
+                '\n' => {
+                    row.push(std::mem::take(&mut cell));
+                    rows.push(std::mem::take(&mut row));
+                }
+                c => cell.push(c),
+            }
+        }
+    }
+    if !cell.is_empty() || !row.is_empty() {
+        row.push(cell);
+        rows.push(row);
+    }
+    rows
+}
+
+#[test]
+fn csv_escape_round_trips_edge_cases() {
+    let nasty = [
+        "plain",
+        "",
+        "comma, separated",
+        "\"fully quoted\"",
+        "embedded \"quote\" inside",
+        "multi\nline\ncell",
+        "quote-comma-newline: \",\"\n\"",
+        "trailing quote\"",
+        "\"",
+        ",",
+        "\n",
+    ];
+    for cell in nasty {
+        let escaped = csv_escape(cell);
+        let parsed = parse_csv(&format!("{escaped}\n"));
+        assert_eq!(parsed.len(), 1, "cell {cell:?} split into rows");
+        assert_eq!(parsed[0], vec![cell.to_string()], "cell {cell:?} mangled");
+    }
+}
+
+#[test]
+fn csv_table_round_trips_through_writer() {
+    let mut table = TextTable::new(vec!["a,b".into(), "c\"d\"".into(), "plain".into()]);
+    let rows = [
+        ["1,5", "say \"hi\"", "x"],
+        ["multi\nline", "", "trailing\""],
+    ];
+    for row in rows {
+        table.push_row(row.iter().map(|s| s.to_string()).collect());
+    }
+    let mut buf = Vec::new();
+    table.write_csv(&mut buf).unwrap();
+    let parsed = parse_csv(&String::from_utf8(buf).unwrap());
+    assert_eq!(parsed[0], vec!["a,b", "c\"d\"", "plain"]);
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(parsed[i + 1], row.to_vec());
+    }
+}
+
+#[test]
+fn take_report_resets_the_sink() {
+    let mut sink = OutputSink::new("x", OutputMode::Json).with_save_dir(None);
+    sink.line("first");
+    let first = sink.take_report();
+    assert_eq!(first.blocks().len(), 1);
+    sink.line("second");
+    let second = sink.take_report();
+    assert_eq!(second.render_text(), "second\n");
+    assert_eq!(second.id(), "x");
+}

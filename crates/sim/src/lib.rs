@@ -14,7 +14,10 @@
 //!   series), scheduled through [`repeat_grid`];
 //! * [`GapDistribution`] — the `gap : percent%` histograms of Tables
 //!   12.3/12.4;
-//! * [`TextTable`] / [`to_json`] — reporting.
+//! * [`TextTable`] / [`Report`] / [`OutputSink`] — the single output
+//!   layer behind the `balloc` CLI: experiments emit tables and lines
+//!   through a sink, and the same emissions render as human text,
+//!   `--json`, or `--csv` without per-experiment code.
 //!
 //! # Seeding contract
 //!
@@ -66,7 +69,7 @@ mod sweep;
 
 pub use config::{Checkpoints, RunConfig};
 pub use distribution::GapDistribution;
-pub use report::{to_json, TextTable};
+pub use report::{csv_escape, to_json, Block, OutputMode, OutputSink, Report, TextTable};
 pub use runner::{
     gaps, repeat, repeat_grid, repeat_grid_traced, repeat_traced, run, run_on_state, run_traced,
     RunResult, TracePoint,
