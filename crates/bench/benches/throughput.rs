@@ -1,9 +1,18 @@
-//! Criterion throughput benchmarks: per-allocation cost of every process.
+//! Criterion throughput benchmarks: per-allocation cost of every process,
+//! on **both** engines.
 //!
 //! Each benchmark allocates `m = 10·n` balls into `n = 10⁴` bins; Criterion
 //! reports time per iteration (one full run), so divide by `m` for the
-//! per-ball cost. These benches track the hot-loop performance the
-//! experiments depend on.
+//! per-ball cost. Every process is measured twice:
+//!
+//! * `<name>` — the batched engine ([`Process::run`], which drives
+//!   `run_batch`): monomorphized hot loops, pre-drawn samples, deferred
+//!   aggregate maintenance where the decider permits;
+//! * `<name>/per_ball` — the legacy path: one `allocate` call per ball.
+//!
+//! The two paths are bit-identical at a fixed seed (asserted by
+//! `tests/batch_equivalence.rs`); the ratio `per_ball / batched` is the
+//! speedup recorded in `BENCH_baseline.json`.
 
 use balloc_core::{LoadState, Process, Rng, TwoChoice};
 use balloc_noise::{
@@ -20,12 +29,24 @@ const N: usize = 10_000;
 const BALLS_PER_BIN: u64 = 10;
 
 fn bench_process<P: Process>(c: &mut Criterion, name: &str, mut factory: impl FnMut() -> P) {
+    let m = BALLS_PER_BIN * N as u64;
     c.bench_function(name, |b| {
         b.iter(|| {
             let mut process = factory();
             let mut state = LoadState::new(N);
             let mut rng = Rng::from_seed(1);
-            process.run(&mut state, BALLS_PER_BIN * N as u64, &mut rng);
+            process.run(&mut state, m, &mut rng);
+            black_box(state.gap())
+        });
+    });
+    c.bench_function(&format!("{name}/per_ball"), |b| {
+        b.iter(|| {
+            let mut process = factory();
+            let mut state = LoadState::new(N);
+            let mut rng = Rng::from_seed(1);
+            for _ in 0..m {
+                process.allocate(&mut state, &mut rng);
+            }
             black_box(state.gap())
         });
     });

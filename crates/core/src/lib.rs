@@ -47,6 +47,6 @@ pub mod rng;
 pub mod stats;
 
 pub use alias::AliasTable;
-pub use load::LoadState;
+pub use load::{LoadBatch, LoadState};
 pub use process::{Decider, DecisionProbability, PerfectDecider, Process, TieBreak, TwoChoice};
-pub use rng::{Rng, SplitMix64};
+pub use rng::{Rng, SampleBuf, SplitMix64};

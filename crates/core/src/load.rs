@@ -267,6 +267,73 @@ impl LoadState {
         }
     }
 
+    /// Begins a batched allocation scope with deferred aggregate
+    /// maintenance.
+    ///
+    /// Inside the scope, [`LoadBatch::place`] updates only the load vector
+    /// and the ball count — the max/min aggregates (and therefore
+    /// [`max_load`](Self::max_load), [`min_load`](Self::min_load),
+    /// [`gap`](Self::gap), [`spread`](Self::spread),
+    /// [`integer_gap`](Self::integer_gap) and friends) may be **stale**
+    /// until the guard is dropped, at which point they are repaired with a
+    /// single fused scan. [`load`](Self::load), [`loads`](Self::loads),
+    /// [`n`](Self::n), [`balls`](Self::balls) and
+    /// [`average`](Self::average) stay exact at every step.
+    ///
+    /// This is the substrate of the monomorphized
+    /// [`Process::run_batch`](crate::Process::run_batch) fast paths: an
+    /// allocate-only chunk does not need per-ball min-level bookkeeping, and
+    /// deciders eligible for those paths promise
+    /// ([`Decider::batchable`](crate::Decider::batchable)) to read only the
+    /// always-exact quantities. The O(n) repair amortizes to O(1) per ball
+    /// whenever the chunk places at least ~n balls; fast paths fall back to
+    /// [`allocate`](Self::allocate) below that.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use balloc_core::LoadState;
+    ///
+    /// let mut state = LoadState::new(4);
+    /// let mut batch = state.batch();
+    /// batch.place(2);
+    /// batch.place(2);
+    /// assert_eq!(batch.view().load(2), 2); // loads are always exact
+    /// drop(batch);
+    /// assert_eq!(state.max_load(), 2); // aggregates repaired on drop
+    /// assert_eq!(state.min_load(), 0);
+    /// ```
+    #[must_use]
+    pub fn batch(&mut self) -> LoadBatch<'_> {
+        LoadBatch { state: self }
+    }
+
+    /// Recomputes all load aggregates from the load vector in one pass.
+    fn repair_aggregates(&mut self) {
+        let mut max = 0u64;
+        let mut min = u64::MAX;
+        let mut at_max = 0usize;
+        let mut at_min = 0usize;
+        for &x in &self.loads {
+            if x > max {
+                max = x;
+                at_max = 1;
+            } else if x == max {
+                at_max += 1;
+            }
+            if x < min {
+                min = x;
+                at_min = 1;
+            } else if x == min {
+                at_min += 1;
+            }
+        }
+        self.max_load = max;
+        self.min_load = min;
+        self.bins_at_max = at_max;
+        self.bins_at_min = at_min;
+    }
+
     /// Removes one ball from bin `i` (used by dynamic settings where balls
     /// depart, e.g. repeated balls-into-bins and queueing — see the
     /// deletion-tolerant settings cited in the paper's introduction
@@ -391,6 +458,66 @@ impl LoadState {
     }
 }
 
+/// An allocate-only batch scope over a [`LoadState`] with deferred
+/// aggregate maintenance. Created by [`LoadState::batch`]; repairs the
+/// aggregates when dropped (including on unwind).
+#[derive(Debug)]
+pub struct LoadBatch<'a> {
+    state: &'a mut LoadState,
+}
+
+impl LoadBatch<'_> {
+    /// A read view of the underlying state.
+    ///
+    /// Loads, `n`, ball count and average are exact; max/min-derived
+    /// aggregates may be stale until the batch ends (see
+    /// [`LoadState::batch`]).
+    #[inline]
+    #[must_use]
+    pub fn view(&self) -> &LoadState {
+        self.state
+    }
+
+    /// Places one ball into bin `i`, deferring aggregate maintenance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    #[inline]
+    pub fn place(&mut self, i: usize) {
+        self.state.loads[i] += 1;
+        self.state.balls += 1;
+    }
+
+    /// Places one ball into bin `i` whose current load the caller already
+    /// holds in a register, storing `old_load + 1` without re-reading the
+    /// load vector.
+    ///
+    /// The two-sample hot loops read both candidate loads for the
+    /// comparison anyway; handing the chosen one back here removes a
+    /// dependent memory access from the store path (the re-read in
+    /// [`place`](Self::place) serializes a second random access behind the
+    /// comparison's conditional move, which costs several ns/ball on a
+    /// cold L2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`. Debug builds additionally assert that
+    /// `old_load` matches the stored load.
+    #[inline]
+    pub fn place_with(&mut self, i: usize, old_load: u64) {
+        debug_assert_eq!(self.state.loads[i], old_load, "stale load handed to place_with");
+        self.state.loads[i] = old_load + 1;
+        self.state.balls += 1;
+    }
+}
+
+impl Drop for LoadBatch<'_> {
+    fn drop(&mut self) {
+        self.state.repair_aggregates();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,6 +527,64 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_bins_rejected() {
         let _ = LoadState::new(0);
+    }
+
+    #[test]
+    fn batch_matches_per_ball_allocation() {
+        let mut rng = Rng::from_seed(17);
+        let n = 23;
+        let mut per_ball = LoadState::new(n);
+        let mut batched = LoadState::new(n);
+        let picks: Vec<usize> = (0..4_000).map(|_| rng.below_usize(n)).collect();
+        for &i in &picks {
+            per_ball.allocate(i);
+        }
+        {
+            let mut batch = batched.batch();
+            for &i in &picks {
+                batch.place(i);
+            }
+        }
+        assert_eq!(per_ball, batched);
+    }
+
+    #[test]
+    fn batch_keeps_loads_and_balls_exact_mid_flight() {
+        let mut state = LoadState::new(3);
+        state.allocate(0);
+        let mut batch = state.batch();
+        batch.place(1);
+        batch.place(1);
+        assert_eq!(batch.view().load(1), 2);
+        assert_eq!(batch.view().balls(), 3);
+        assert!((batch.view().average() - 1.0).abs() < 1e-12);
+        drop(batch);
+        assert_eq!(state.max_load(), 2);
+        assert_eq!(state.min_load(), 0);
+        assert_eq!(state.spread(), 2);
+    }
+
+    #[test]
+    fn batch_repair_matches_from_loads_reconstruction() {
+        let mut rng = Rng::from_seed(91);
+        let n = 11;
+        let mut state = LoadState::new(n);
+        for _ in 0..7 {
+            let mut batch = state.batch();
+            for _ in 0..123 {
+                batch.place(rng.below_usize(n));
+            }
+        }
+        let rebuilt = LoadState::from_loads(state.loads().to_vec());
+        assert_eq!(state, rebuilt);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut state = LoadState::from_loads(vec![2, 0, 1]);
+        let copy = state.clone();
+        drop(state.batch());
+        assert_eq!(state, copy);
     }
 
     #[test]

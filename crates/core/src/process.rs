@@ -97,6 +97,29 @@ pub trait Decider {
 
     /// Clears any per-run internal state (most deciders are stateless).
     fn reset(&mut self) {}
+
+    /// Whether this decider is eligible for the batched allocation fast
+    /// paths.
+    ///
+    /// Returning `true` is a **promise** that, for every state and sample
+    /// pair, [`decide`](Self::decide)
+    ///
+    /// 1. never draws from the supplied [`Rng`], and
+    /// 2. reads only the always-exact state quantities — per-bin loads
+    ///    ([`LoadState::load`]/[`LoadState::loads`]), `n`, `balls` and
+    ///    `average` — never the max/min-derived aggregates (`max_load`,
+    ///    `min_load`, `gap`, `spread`, …), which may be stale inside a
+    ///    deferred-aggregate batch (see [`LoadState::batch`]).
+    ///
+    /// Monomorphized [`Process::run_batch`] loops consult this to choose
+    /// between the pre-drawn-sample, deferred-aggregate fast path (which is
+    /// bit-identical to per-ball allocation for exactly this class) and the
+    /// fully interleaved safe path. The default is `false`, which is always
+    /// safe; a decider that answers `true` but breaks either promise will
+    /// be caught by the workspace's batch-equivalence property suite.
+    fn batchable(&self) -> bool {
+        false
+    }
 }
 
 /// A [`Decider`] whose one-step decision distribution can be computed
@@ -122,7 +145,30 @@ pub trait Process {
     fn reset(&mut self) {}
 
     /// Allocates `steps` balls.
+    ///
+    /// Delegates to [`run_batch`](Self::run_batch), so every existing call
+    /// site — runners, experiments, tests — transparently gets a process's
+    /// batched fast path.
     fn run(&mut self, state: &mut LoadState, steps: u64, rng: &mut Rng) {
+        self.run_batch(state, steps, rng);
+    }
+
+    /// Allocates `steps` balls through the process's batched engine.
+    ///
+    /// # Determinism contract
+    ///
+    /// `run_batch` must be **bit-identical** to `steps` successive
+    /// [`allocate`](Self::allocate) calls: same final load vector, same
+    /// return trajectory, and the same number of raw draws consumed from
+    /// `rng` (so the generator ends in the same state). Implementations are
+    /// free to pre-draw samples ([`SampleBuf`](crate::rng::SampleBuf)),
+    /// defer aggregate maintenance ([`LoadState::batch`]), or hoist
+    /// loop-invariant checks — as long as the observable outcome is
+    /// unchanged at every fixed seed. The workspace's batch-equivalence
+    /// property suite asserts this for every registered process.
+    ///
+    /// The default implementation is the per-ball fallback.
+    fn run_batch(&mut self, state: &mut LoadState, steps: u64, rng: &mut Rng) {
         for _ in 0..steps {
             self.allocate(state, rng);
         }
@@ -136,6 +182,12 @@ impl<P: Process + ?Sized> Process for &mut P {
     fn reset(&mut self) {
         (**self).reset();
     }
+    fn run(&mut self, state: &mut LoadState, steps: u64, rng: &mut Rng) {
+        (**self).run(state, steps, rng);
+    }
+    fn run_batch(&mut self, state: &mut LoadState, steps: u64, rng: &mut Rng) {
+        (**self).run_batch(state, steps, rng);
+    }
 }
 
 impl<P: Process + ?Sized> Process for Box<P> {
@@ -144,6 +196,12 @@ impl<P: Process + ?Sized> Process for Box<P> {
     }
     fn reset(&mut self) {
         (**self).reset();
+    }
+    fn run(&mut self, state: &mut LoadState, steps: u64, rng: &mut Rng) {
+        (**self).run(state, steps, rng);
+    }
+    fn run_batch(&mut self, state: &mut LoadState, steps: u64, rng: &mut Rng) {
+        (**self).run_batch(state, steps, rng);
     }
 }
 
@@ -184,13 +242,42 @@ impl Decider for PerfectDecider {
     #[inline]
     fn decide(&mut self, state: &LoadState, i1: usize, i2: usize, rng: &mut Rng) -> usize {
         let (x1, x2) = (state.load(i1), state.load(i2));
-        if x1 < x2 {
-            i1
-        } else if x2 < x1 {
-            i2
-        } else {
-            self.tie.resolve(i1, i2, rng)
+        // The rng-free tie rules fold the tie into the load comparison so
+        // the whole decision is a single predicate — which compiles to a
+        // conditional move instead of a ~50/50 unpredictable branch in the
+        // Two-Choice hot loop.
+        match self.tie {
+            TieBreak::FirstSample => {
+                if x2 < x1 {
+                    i2
+                } else {
+                    i1
+                }
+            }
+            TieBreak::LowestIndex => {
+                if x2 < x1 || (x2 == x1 && i2 < i1) {
+                    i2
+                } else {
+                    i1
+                }
+            }
+            TieBreak::Random => {
+                if x1 < x2 {
+                    i1
+                } else if x2 < x1 {
+                    i2
+                } else {
+                    self.tie.resolve(i1, i2, rng)
+                }
+            }
         }
+    }
+
+    #[inline]
+    fn batchable(&self) -> bool {
+        // Random tie-breaking draws a coin on exact load ties; the other
+        // rules never touch the generator and read only per-bin loads.
+        !matches!(self.tie, TieBreak::Random)
     }
 }
 
@@ -282,6 +369,44 @@ impl<D: Decider> Process for TwoChoice<D> {
         chosen
     }
 
+    /// Monomorphized batched engine for the two-sample loop.
+    ///
+    /// With a [`batchable`](Decider::batchable) decider and a run long
+    /// enough to amortize one O(n) repair scan, the loop defers aggregate
+    /// maintenance ([`LoadState::batch`]), pre-loads both candidate loads
+    /// into registers (the inlined decider's own reads CSE away), and
+    /// stores the incremented load through
+    /// [`place_with`](crate::LoadBatch::place_with) — removing both the
+    /// min/max bookkeeping branches and the dependent re-read from the
+    /// store path. Draws stay interleaved: benchmarks showed pre-drawing
+    /// samples through [`SampleBuf`](crate::rng::SampleBuf) serializes the generator's dependency
+    /// chain against the consume work and costs ~2× on current hardware
+    /// (see `docs/PERFORMANCE.md`), so the prefetcher is reserved for
+    /// workloads where the draw itself dominates.
+    fn run_batch(&mut self, state: &mut LoadState, steps: u64, rng: &mut Rng) {
+        let bound = state.n() as u64;
+        if !self.decider.batchable() || steps < bound {
+            // Per-ball fallback: deciders that draw from the generator fix
+            // the draw interleaving, and short runs do not amortize the
+            // end-of-batch repair scan.
+            for _ in 0..steps {
+                self.allocate(state, rng);
+            }
+            return;
+        }
+        let mut batch = state.batch();
+        for _ in 0..steps {
+            let i1 = rng.below(bound) as usize;
+            let i2 = rng.below(bound) as usize;
+            let view = batch.view();
+            let (x1, x2) = (view.load(i1), view.load(i2));
+            let chosen = self.decider.decide(view, i1, i2, rng);
+            debug_assert!(chosen == i1 || chosen == i2, "decider must pick a sample");
+            let x = if chosen == i1 { x1 } else { x2 };
+            batch.place_with(chosen, x);
+        }
+    }
+
     fn reset(&mut self) {
         self.decider.reset();
     }
@@ -364,6 +489,51 @@ mod tests {
             one.max_load()
         );
         assert!(two.max_load() <= 4, "log2 log 4096 + O(1) expected");
+    }
+
+    #[test]
+    fn run_batch_is_bit_identical_to_per_ball() {
+        // Covers both paths (deferred-aggregate for steps ≥ n, the
+        // per-ball fallback below) and both decider classes.
+        for tie in [TieBreak::FirstSample, TieBreak::LowestIndex, TieBreak::Random] {
+            for (n, steps) in [(64usize, 10u64), (64, 64), (64, 5_000), (7, 4_099)] {
+                let mut a = LoadState::new(n);
+                let mut b = LoadState::new(n);
+                let mut rng_a = Rng::from_seed(2024);
+                let mut rng_b = Rng::from_seed(2024);
+                let mut pa = TwoChoice::new(PerfectDecider::new(tie));
+                let mut pb = TwoChoice::new(PerfectDecider::new(tie));
+                for _ in 0..steps {
+                    pa.allocate(&mut a, &mut rng_a);
+                }
+                pb.run_batch(&mut b, steps, &mut rng_b);
+                assert_eq!(a, b, "states diverged: tie {tie:?}, n {n}, steps {steps}");
+                assert_eq!(rng_a, rng_b, "rng diverged: tie {tie:?}, n {n}, steps {steps}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_batch_split_arbitrarily_matches_single_call() {
+        let n = 50;
+        let mut whole = LoadState::new(n);
+        let mut split = LoadState::new(n);
+        let mut rng_a = Rng::from_seed(5);
+        let mut rng_b = Rng::from_seed(5);
+        TwoChoice::classic().run_batch(&mut whole, 3_000, &mut rng_a);
+        let mut p = TwoChoice::classic();
+        for part in [1u64, 49, 2_048, 700, 202] {
+            p.run_batch(&mut split, part, &mut rng_b);
+        }
+        assert_eq!(whole, split);
+        assert_eq!(rng_a, rng_b);
+    }
+
+    #[test]
+    fn perfect_decider_batchability_tracks_tie_rule() {
+        assert!(PerfectDecider::new(TieBreak::FirstSample).batchable());
+        assert!(PerfectDecider::new(TieBreak::LowestIndex).batchable());
+        assert!(!PerfectDecider::new(TieBreak::Random).batchable());
     }
 
     #[test]

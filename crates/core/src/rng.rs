@@ -162,7 +162,35 @@ impl Rng {
     }
 
     /// Returns a uniform integer in `[0, bound)` without modulo bias
-    /// (Lemire's method).
+    /// (Lemire's widening-multiply method).
+    ///
+    /// # Stream-compatibility contract
+    ///
+    /// The mapping from raw [`next_u64`](Self::next_u64) outputs to bounded
+    /// integers is part of this type's **stable determinism contract**: for
+    /// a given `bound`, both the *value* returned and the *number of raw
+    /// draws consumed* are fixed forever, because every recorded experiment
+    /// seed in this workspace depends on them. Concretely:
+    ///
+    /// * The hot path is a single widening multiply `x · bound >> 64` of one
+    ///   raw draw — no modulo. It accepts immediately whenever
+    ///   `(x · bound) mod 2⁶⁴ ⩾ bound`, which holds for all draws when
+    ///   `bound` divides 2⁶⁴ (powers of two) and with probability
+    ///   `1 − bound/2⁶⁴` otherwise; only in the remaining sliver is the
+    ///   expensive `2⁶⁴ mod bound` threshold computed and the debiasing
+    ///   re-draw loop entered, exactly as in Lemire's reference algorithm.
+    /// * For the bin counts used in practice (`bound ≪ 2⁶⁴`) a re-draw is
+    ///   essentially never taken, but the tail must never be replaced by
+    ///   bit-masking or modulo reduction: those consume the same number of
+    ///   draws yet map raw values to *different* outputs, silently changing
+    ///   every seeded experiment. (The tail also deliberately stays
+    ///   *inline*: extracting it into a `#[cold]` helper measurably slowed
+    ///   mixed float/integer deciders such as `σ-Noisy-Load` by ~35% in
+    ///   `benches/throughput.rs`, see `docs/PERFORMANCE.md`.)
+    ///
+    /// Batched samplers ([`fill_below`](Self::fill_below), [`SampleBuf`])
+    /// are defined in terms of this method, so pre-drawing `k` values
+    /// consumes exactly the same stream as `k` individual calls.
     ///
     /// # Panics
     ///
@@ -192,6 +220,41 @@ impl Rng {
             }
         }
         (m >> 64) as u64
+    }
+
+    /// Fills `out` with uniform integers in `[0, bound)`, consuming exactly
+    /// the same raw stream as `out.len()` successive calls to
+    /// [`below`](Self::below).
+    ///
+    /// This is the batched-draw primitive behind [`SampleBuf`]: hot
+    /// allocation loops pre-draw a chunk of bin indices up front, which
+    /// separates the serial xoshiro dependency chain from the
+    /// memory-bound load lookups that follow. Because the per-draw mapping
+    /// is identical to `below`, results stay bit-identical at a fixed seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use balloc_core::Rng;
+    /// let mut a = Rng::from_seed(3);
+    /// let mut b = Rng::from_seed(3);
+    /// let mut buf = [0u64; 32];
+    /// a.fill_below(10, &mut buf);
+    /// for &v in &buf {
+    ///     assert_eq!(v, b.below(10));
+    /// }
+    /// assert_eq!(a, b); // identical streams consumed
+    /// ```
+    #[inline]
+    pub fn fill_below(&mut self, bound: u64, out: &mut [u64]) {
+        assert!(bound > 0, "bound must be positive");
+        for slot in out {
+            *slot = self.below(bound);
+        }
     }
 
     /// Returns a uniform `usize` in `[0, bound)`.
@@ -287,6 +350,86 @@ impl Rng {
     #[must_use]
     pub fn fork(&mut self) -> Self {
         Self::from_seed(self.next_u64())
+    }
+}
+
+/// A reusable buffer of pre-drawn bounded samples for batched hot loops.
+///
+/// Allocation fast paths draw bin indices in chunks through
+/// [`Rng::fill_below`] and then consume them one by one, instead of calling
+/// [`Rng::below`] once per ball. The buffer preserves the determinism
+/// contract: a refill of `k` samples consumes exactly the stream of `k`
+/// individual `below` calls, so interleaving refills with direct draws
+/// reproduces the per-ball stream **as long as no other draw happens
+/// between the refill point and the consumption of its samples** — which is
+/// why batched loops only use it with deciders that promise not to touch
+/// the generator ([`Decider::batchable`](crate::Decider::batchable)).
+///
+/// # Examples
+///
+/// ```
+/// use balloc_core::{Rng, SampleBuf};
+///
+/// let mut rng = Rng::from_seed(7);
+/// let mut buf = SampleBuf::new();
+/// buf.refill(&mut rng, 10, 4);
+/// assert_eq!(buf.remaining(), 4);
+/// while buf.remaining() > 0 {
+///     assert!(buf.take() < 10);
+/// }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SampleBuf {
+    buf: Vec<u64>,
+    pos: usize,
+}
+
+impl SampleBuf {
+    /// Creates an empty buffer (no allocation until the first refill).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Discards any unconsumed samples and refills with `count` fresh draws
+    /// from `[0, bound)`.
+    ///
+    /// Consumes exactly the stream of `count` [`Rng::below`] calls. Callers
+    /// must consume every sample before drawing from `rng` through any
+    /// other path, otherwise the batched stream diverges from the per-ball
+    /// stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn refill(&mut self, rng: &mut Rng, bound: u64, count: usize) {
+        debug_assert_eq!(
+            self.pos,
+            self.buf.len(),
+            "refilling a SampleBuf with unconsumed samples breaks stream order"
+        );
+        self.buf.resize(count, 0);
+        rng.fill_below(bound, &mut self.buf);
+        self.pos = 0;
+    }
+
+    /// Takes the next pre-drawn sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is exhausted.
+    #[inline]
+    pub fn take(&mut self) -> u64 {
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    /// Number of unconsumed samples.
+    #[inline]
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
 }
 
@@ -396,6 +539,57 @@ mod tests {
                 assert!(rng.below(bound) < bound);
             }
         }
+    }
+
+    #[test]
+    fn fill_below_matches_individual_calls() {
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            for bound in [1u64, 2, 7, 64, 10_000, u64::MAX / 2 + 1, u64::MAX] {
+                let mut batched = Rng::from_seed(seed);
+                let mut single = Rng::from_seed(seed);
+                let mut buf = vec![0u64; 257];
+                batched.fill_below(bound, &mut buf);
+                for (k, &v) in buf.iter().enumerate() {
+                    assert_eq!(v, single.below(bound), "seed {seed}, bound {bound}, draw {k}");
+                }
+                assert_eq!(batched, single, "stream position diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_buf_round_trips_the_stream() {
+        let mut a = Rng::from_seed(99);
+        let mut b = Rng::from_seed(99);
+        let mut buf = SampleBuf::new();
+        // Interleave refills with direct draws; both generators must stay in
+        // lock-step as long as every sample is consumed before other draws.
+        for chunk in [1usize, 5, 64, 3] {
+            buf.refill(&mut a, 12, chunk);
+            for _ in 0..chunk {
+                assert_eq!(buf.take(), b.below(12));
+            }
+            assert_eq!(buf.remaining(), 0);
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn fill_below_zero_bound_panics() {
+        let mut rng = Rng::from_seed(0);
+        rng.fill_below(0, &mut [0u64; 4]);
+    }
+
+    #[test]
+    fn below_reference_stream_is_stable() {
+        // Pin the exact value mapping of Lemire's method: these values are
+        // part of the determinism contract (see `below`'s docs). If this
+        // test fails, every recorded experiment seed has silently changed.
+        let mut rng = Rng::from_seed(1234567);
+        let first: Vec<u64> = (0..8).map(|_| rng.below(10_000)).collect();
+        assert_eq!(first, vec![236, 4405, 9827, 138, 3258, 1214, 2375, 3259]);
     }
 
     #[test]

@@ -72,6 +72,13 @@ impl<S: CompStrategy> Decider for AdvComp<S> {
     fn reset(&mut self) {
         self.strategy.reset();
     }
+
+    #[inline]
+    fn batchable(&self) -> bool {
+        // The window test reads only the two loads; eligibility for the
+        // batched fast path is the in-window strategy's promise.
+        self.strategy.batchable()
+    }
 }
 
 impl<S: CompStrategyProbability> DecisionProbability for AdvComp<S> {
@@ -143,6 +150,12 @@ impl Process for GBounded {
         self.inner.allocate(state, rng)
     }
 
+    fn run_batch(&mut self, state: &mut LoadState, steps: u64, rng: &mut Rng) {
+        // ReverseAll is rng-free, so this takes the prefetched,
+        // deferred-aggregate Two-Choice fast path.
+        self.inner.run_batch(state, steps, rng);
+    }
+
     fn reset(&mut self) {
         self.inner.reset();
     }
@@ -199,6 +212,12 @@ impl Process for GMyopic {
     #[inline]
     fn allocate(&mut self, state: &mut LoadState, rng: &mut Rng) -> usize {
         self.inner.allocate(state, rng)
+    }
+
+    fn run_batch(&mut self, state: &mut LoadState, steps: u64, rng: &mut Rng) {
+        // UniformRandom draws a coin inside the window, so this resolves to
+        // the interleaved (but still monomorphized) Two-Choice loop.
+        self.inner.run_batch(state, steps, rng);
     }
 
     fn reset(&mut self) {

@@ -104,6 +104,13 @@ impl Decider for AdvLoad {
             }
         }
     }
+
+    #[inline]
+    fn batchable(&self) -> bool {
+        // The reversing adversary is deterministic and reads only the two
+        // loads; the uniform perturbation draws per comparison.
+        matches!(self.strategy, PerturbStrategy::Reverse)
+    }
 }
 
 impl DecisionProbability for AdvLoad {

@@ -149,6 +149,57 @@ impl Process for Batched {
         chosen
     }
 
+    /// Batched engine: within one batch of `b` balls the snapshot is frozen
+    /// and no external modification can occur (this process is the only
+    /// allocator inside the call), so the per-ball resync/boundary checks
+    /// are hoisted to the batch boundaries and the inner loop compares
+    /// snapshot loads directly. Comparisons never read the live aggregates,
+    /// so long runs also defer aggregate maintenance.
+    fn run_batch(&mut self, state: &mut LoadState, steps: u64, rng: &mut Rng) {
+        let n = state.n();
+        let bound = n as u64;
+        if steps < bound {
+            for _ in 0..steps {
+                self.allocate(state, rng);
+            }
+            return;
+        }
+        let mut batch = state.batch();
+        let mut remaining = steps;
+        while remaining > 0 {
+            let externally_modified = self.initialized
+                && batch.view().balls() != self.snapshot_balls + self.since_snapshot.len() as u64;
+            if !self.initialized || self.snapshot.len() != n || externally_modified {
+                self.snapshot = batch.view().loads().to_vec();
+                self.since_snapshot.clear();
+                self.snapshot_balls = batch.view().balls();
+                self.initialized = true;
+            } else if self.since_snapshot.len() as u64 >= self.b {
+                self.refresh_snapshot();
+                self.snapshot_balls = batch.view().balls();
+                if self.snapshot != batch.view().loads() {
+                    self.snapshot.copy_from_slice(batch.view().loads());
+                }
+            }
+            let segment = remaining.min(self.b - self.since_snapshot.len() as u64);
+            for _ in 0..segment {
+                let i1 = rng.below(bound) as usize;
+                let i2 = rng.below(bound) as usize;
+                let (s1, s2) = (self.snapshot[i1], self.snapshot[i2]);
+                let chosen = if s1 < s2 {
+                    i1
+                } else if s2 < s1 {
+                    i2
+                } else {
+                    self.tie.resolve(i1, i2, rng)
+                };
+                batch.place(chosen);
+                self.since_snapshot.push(chosen);
+            }
+            remaining -= segment;
+        }
+    }
+
     fn reset(&mut self) {
         self.snapshot.clear();
         self.since_snapshot.clear();

@@ -197,6 +197,48 @@ impl Process for Delayed {
         chosen
     }
 
+    /// Batched engine: capacity and external-modification checks are
+    /// hoisted out of the loop (inside one call this process is the only
+    /// allocator), the window bookkeeping stays per-ball. Estimates read
+    /// only per-bin loads, so long runs defer aggregate maintenance.
+    fn run_batch(&mut self, state: &mut LoadState, steps: u64, rng: &mut Rng) {
+        let n = state.n();
+        let bound = n as u64;
+        if steps < bound {
+            for _ in 0..steps {
+                self.allocate(state, rng);
+            }
+            return;
+        }
+        self.ensure_capacity(n);
+        if let Some(expected) = self.expected_balls {
+            if expected != state.balls() {
+                self.window.clear();
+                self.pending.fill(0);
+            }
+        }
+        let track_window = self.tau > 1;
+        let window_cap = self.tau - 1;
+        {
+            let mut batch = state.batch();
+            for _ in 0..steps {
+                let i1 = rng.below(bound) as usize;
+                let i2 = rng.below(bound) as usize;
+                let chosen = self.choose(batch.view(), i1, i2, rng);
+                batch.place(chosen);
+                if track_window {
+                    self.window.push_back(chosen);
+                    self.pending[chosen] += 1;
+                    if self.window.len() as u64 > window_cap {
+                        let old = self.window.pop_front().expect("window non-empty");
+                        self.pending[old] -= 1;
+                    }
+                }
+            }
+        }
+        self.expected_balls = Some(state.balls());
+    }
+
     fn reset(&mut self) {
         self.window.clear();
         self.pending.fill(0);

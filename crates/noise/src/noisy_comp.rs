@@ -131,6 +131,12 @@ impl Process for SigmaNoisyLoad {
         self.inner.allocate(state, rng)
     }
 
+    fn run_batch(&mut self, state: &mut LoadState, steps: u64, rng: &mut Rng) {
+        // ρ-Noisy-Comp draws per comparison, so this resolves to the
+        // interleaved monomorphized Two-Choice loop.
+        self.inner.run_batch(state, steps, rng);
+    }
+
     fn reset(&mut self) {
         self.inner.reset();
     }

@@ -18,6 +18,17 @@ pub trait CompStrategy {
 
     /// Clears any per-run internal state.
     fn reset(&mut self) {}
+
+    /// Whether this strategy satisfies the batching contract of
+    /// [`Decider::batchable`](balloc_core::Decider::batchable): `choose`
+    /// never draws from the `Rng` and reads only always-exact state
+    /// quantities (loads, ball count, average). Propagated by
+    /// [`AdvComp`](crate::AdvComp) so `g-Adv-Comp` processes take the
+    /// batched fast path exactly when their adversary permits it. Defaults
+    /// to `false` (always safe).
+    fn batchable(&self) -> bool {
+        false
+    }
 }
 
 /// A [`CompStrategy`] whose one-step decision distribution is known exactly
@@ -41,6 +52,11 @@ impl CompStrategy for ReverseAll {
         } else {
             i1
         }
+    }
+
+    #[inline]
+    fn batchable(&self) -> bool {
+        true
     }
 }
 
@@ -93,6 +109,11 @@ impl CompStrategy for CorrectAll {
         } else {
             i1
         }
+    }
+
+    #[inline]
+    fn batchable(&self) -> bool {
+        true
     }
 }
 
@@ -150,6 +171,12 @@ impl CompStrategy for ReverseWithProbability {
             lighter
         }
     }
+
+    #[inline]
+    fn batchable(&self) -> bool {
+        // `Rng::chance` short-circuits without drawing at the extremes.
+        self.p <= 0.0 || self.p >= 1.0
+    }
 }
 
 impl CompStrategyProbability for ReverseWithProbability {
@@ -188,6 +215,13 @@ impl CompStrategy for OverloadSeeking {
         } else {
             lighter
         }
+    }
+
+    #[inline]
+    fn batchable(&self) -> bool {
+        // Reads loads and the average (ball count), both always exact
+        // inside a deferred-aggregate batch; draws nothing.
+        true
     }
 }
 

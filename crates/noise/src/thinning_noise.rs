@@ -107,6 +107,10 @@ impl Process for NoisyMeanThinning {
         state.allocate(chosen);
         chosen
     }
+
+    // `run_batch` stays on the per-ball default: the noisy threshold test
+    // draws per ball and reads the running average, leaving nothing for
+    // the batched engine to defer profitably (see docs/PERFORMANCE.md).
 }
 
 #[cfg(test)]

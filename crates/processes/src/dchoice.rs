@@ -81,6 +81,38 @@ impl<D: Decider> Process for DChoice<D> {
         winner
     }
 
+    /// Batched engine: with an rng-free tournament decider, long runs defer
+    /// aggregate maintenance and thread the winner's load value through the
+    /// tournament so the final store needs no dependent re-read.
+    fn run_batch(&mut self, state: &mut LoadState, steps: u64, rng: &mut Rng) {
+        let bound = state.n() as u64;
+        if !self.decider.batchable() || steps < bound {
+            for _ in 0..steps {
+                self.allocate(state, rng);
+            }
+            return;
+        }
+        let d = self.d;
+        let mut batch = state.batch();
+        for _ in 0..steps {
+            let mut winner = rng.below(bound) as usize;
+            let mut winner_load = batch.view().load(winner);
+            for _ in 1..d {
+                let challenger = rng.below(bound) as usize;
+                let view = batch.view();
+                let challenger_load = view.load(challenger);
+                let next = self.decider.decide(view, winner, challenger, rng);
+                winner_load = if next == winner {
+                    winner_load
+                } else {
+                    challenger_load
+                };
+                winner = next;
+            }
+            batch.place_with(winner, winner_load);
+        }
+    }
+
     fn reset(&mut self) {
         self.decider.reset();
     }

@@ -15,6 +15,11 @@ impl Decider for AlwaysFirst {
     fn decide(&mut self, _state: &LoadState, i1: usize, _i2: usize, _rng: &mut Rng) -> usize {
         i1
     }
+
+    #[inline]
+    fn batchable(&self) -> bool {
+        true
+    }
 }
 
 impl DecisionProbability for AlwaysFirst {
@@ -38,6 +43,11 @@ impl Decider for AlwaysLighter {
         } else {
             i1
         }
+    }
+
+    #[inline]
+    fn batchable(&self) -> bool {
+        true
     }
 }
 
@@ -67,6 +77,11 @@ impl Decider for AlwaysHeavier {
         } else {
             i1
         }
+    }
+
+    #[inline]
+    fn batchable(&self) -> bool {
+        true
     }
 }
 

@@ -37,6 +37,7 @@ impl Topology {
     /// Panics if `n < 2`, if the topology is [`Topology::Hypercube`] and
     /// `n` is not a power of two, or if an [`Topology::EdgeList`] is empty
     /// or contains an endpoint `⩾ n`.
+    #[inline]
     pub fn sample_edge(&self, n: usize, rng: &mut Rng) -> (usize, usize) {
         assert!(n >= 2, "graphical allocation needs at least two bins");
         match self {
@@ -122,6 +123,11 @@ impl<D: Decider> Process for GraphicalTwoChoice<D> {
         state.allocate(chosen);
         chosen
     }
+
+    // `run_batch` deliberately stays on the per-ball default: benchmarks
+    // showed the deferred-aggregate guard slows the edge-sampling loop down
+    // on current hardware (see docs/PERFORMANCE.md), and the per-ball body
+    // is already monomorphized and branch-lean.
 
     fn reset(&mut self) {
         self.decider.reset();

@@ -82,6 +82,10 @@ impl<D: Decider> Process for NonUniformTwoChoice<D> {
         chosen
     }
 
+    // `run_batch` deliberately stays on the per-ball default: benchmarks
+    // showed the deferred-aggregate guard slows the alias-sampling loop
+    // down on current hardware (see docs/PERFORMANCE.md).
+
     fn reset(&mut self) {
         self.decider.reset();
     }

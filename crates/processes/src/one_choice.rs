@@ -38,6 +38,22 @@ impl Process for OneChoice {
         state.allocate(i);
         i
     }
+
+    /// Batched engine: `One-Choice` never reads the state, so long runs
+    /// simply defer aggregate maintenance to one repair scan at the end.
+    fn run_batch(&mut self, state: &mut LoadState, steps: u64, rng: &mut Rng) {
+        let bound = state.n() as u64;
+        if steps < bound {
+            for _ in 0..steps {
+                self.allocate(state, rng);
+            }
+            return;
+        }
+        let mut batch = state.batch();
+        for _ in 0..steps {
+            batch.place(rng.below(bound) as usize);
+        }
+    }
 }
 
 #[cfg(test)]

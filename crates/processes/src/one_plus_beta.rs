@@ -73,6 +73,11 @@ impl<D: Decider> Process for OnePlusBeta<D> {
         chosen
     }
 
+    // `run_batch` deliberately stays on the per-ball default: the β coin
+    // fixes the draw interleaving, and benchmarks showed no win from
+    // deferring aggregates on the mixed one/two-sample loop (see
+    // docs/PERFORMANCE.md).
+
     fn reset(&mut self) {
         self.decider.reset();
     }

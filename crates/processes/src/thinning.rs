@@ -44,6 +44,11 @@ impl Process for MeanThinning {
         state.allocate(chosen);
         chosen
     }
+
+    // `run_batch` deliberately stays on the per-ball default: the
+    // threshold test makes the second draw conditional and reads the
+    // running average, leaving nothing for the batched engine to defer
+    // profitably (see docs/PERFORMANCE.md).
 }
 
 /// Threshold `Two-Thinning`: accept the first sample if its load is below
@@ -99,6 +104,9 @@ impl Process for TwoThinning {
         state.allocate(chosen);
         chosen
     }
+
+    // `run_batch` stays on the per-ball default for the same reason as
+    // `MeanThinning`.
 }
 
 #[cfg(test)]

@@ -5,7 +5,9 @@
 //! experiments of the paper's Section 12:
 //!
 //! * [`RunConfig`] / [`run`] / [`run_traced`] — a single seeded run with
-//!   optional gap traces ([`Checkpoints`]);
+//!   optional gap traces ([`Checkpoints`]), driven through each process's
+//!   batched engine with instrumentation behind the zero-cost
+//!   [`StepObserver`] hook ([`run_observed`]);
 //! * [`repeat`] — parallel repetitions with derived per-run seeds
 //!   (sequential ≡ parallel, always);
 //! * [`repeat_grid`] — many configurations × many repetitions flattened
@@ -71,7 +73,7 @@ pub use config::{Checkpoints, RunConfig};
 pub use distribution::GapDistribution;
 pub use report::{csv_escape, to_json, Block, OutputMode, OutputSink, Report, TextTable};
 pub use runner::{
-    gaps, repeat, repeat_grid, repeat_grid_traced, repeat_traced, run, run_on_state, run_traced,
-    RunResult, TracePoint,
+    gaps, repeat, repeat_grid, repeat_grid_traced, repeat_traced, run, run_observed, run_on_state,
+    run_traced, GapTrace, NoObserver, RunResult, StepObserver, TracePoint,
 };
 pub use sweep::{series, sweep, sweep_traced, SweepPoint};
