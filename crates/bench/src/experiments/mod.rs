@@ -24,6 +24,7 @@ mod potential_drop;
 mod queueing_stale;
 mod recovery;
 mod rho_curves;
+mod serve_bench;
 mod table11_1;
 mod table12_3;
 mod table12_4;
@@ -77,6 +78,7 @@ static REGISTRY: &[&dyn Experiment] = &[
     &multicounter_quality::MulticounterQuality,
     &queueing_stale::QueueingStale,
     &layer_decay::LayerDecay,
+    &serve_bench::ServeBench,
 ];
 
 /// All registered experiments, in `balloc list` order.

@@ -34,6 +34,24 @@ struct MulticounterQualityArtifact {
     cached_reads: Vec<QualityPoint>,
 }
 
+/// Per-handle RNG seed for one cell of the quality grid.
+///
+/// The arm (`live`/`refresh`) and the cell parameter (thread count or
+/// refresh interval) fold into the tagged [`experiment_seed`], and the
+/// handle index then passes through the [`point_seed`] mixer's full
+/// avalanche. The naive `experiment_seed(tag) + t` this replaces is the
+/// same bug class as PR 2's sweep `base + j` fix: sequentially derived
+/// seeds made handle `t + 1` of one cell reuse handle `t`'s neighbouring
+/// seed, and every cell of an arm reused the *identical* handle streams
+/// (all four thread counts shared thread 0's stream, all four refresh
+/// intervals shared the same four streams) — silently correlating grid
+/// cells that the quality comparison treats as independent.
+fn handle_seed(arm: &str, cell: u64, master: u64, t: u64) -> u64 {
+    use balloc_core::rng::point_seed;
+    let base = experiment_seed(&format!("multicounter_quality/{arm}/{cell}"), master);
+    point_seed(base, t)
+}
+
 /// `balloc multicounter_quality` — see the module docs.
 pub struct MulticounterQuality;
 
@@ -86,7 +104,7 @@ impl Experiment for MulticounterQuality {
             std::thread::scope(|scope| {
                 for t in 0..threads {
                     let counter = &counter;
-                    let seed = experiment_seed("multicounter_quality/live", args.seed) + t;
+                    let seed = handle_seed("live", threads, args.seed, t);
                     scope.spawn(move || {
                         let mut rng = Rng::from_seed(seed);
                         for _ in 0..per_thread {
@@ -118,7 +136,7 @@ impl Experiment for MulticounterQuality {
             std::thread::scope(|scope| {
                 for t in 0..threads {
                     let counter = &counter;
-                    let seed = experiment_seed("multicounter_quality/refresh", args.seed) + t;
+                    let seed = handle_seed("refresh", refresh as u64, args.seed, t);
                     scope.spawn(move || {
                         let mut handle = counter.cached_handle(refresh, seed);
                         for _ in 0..per_thread {
@@ -182,5 +200,66 @@ impl Experiment for MulticounterQuality {
         sink.blank();
         sink.save_artifact(&artifact);
         Ok(sink.take_report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    use super::*;
+
+    #[test]
+    fn handle_seeds_are_not_sequentially_derived() {
+        // Regression signature of the pre-fix `experiment_seed(tag) + t`
+        // derivation: adjacent handles of a cell got consecutive seeds.
+        for t in 0..8 {
+            let a = handle_seed("live", 8, 2022, t);
+            let b = handle_seed("live", 8, 2022, t + 1);
+            assert_ne!(b, a.wrapping_add(1), "handle {t}: seeds are sequential");
+        }
+    }
+
+    #[test]
+    fn handle_seeds_are_unique_across_the_whole_grid() {
+        // Pre-fix, every thread-count cell of the live arm reused the
+        // identical handle seeds (the tag did not include the cell), so
+        // the grid's "independent" cells shared RNG streams; likewise all
+        // refresh cells. Every (arm, cell, handle) triple must now get its
+        // own seed.
+        let mut seen = HashSet::new();
+        for threads in [1u64, 2, 4, 8] {
+            for t in 0..threads {
+                assert!(
+                    seen.insert(handle_seed("live", threads, 2022, t)),
+                    "duplicate seed in live cell threads = {threads}, handle {t}"
+                );
+            }
+        }
+        for refresh in [16u64, 64, 256, 1024] {
+            for t in 0..4 {
+                assert!(
+                    seen.insert(handle_seed("refresh", refresh, 2022, t)),
+                    "duplicate seed in refresh cell {refresh}, handle {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn handle_streams_are_pairwise_independent() {
+        // Stream-level check: the first outputs of every handle RNG in a
+        // cell (and across neighbouring master seeds) never collide — the
+        // b-Batch quality comparison relies on genuinely distinct streams.
+        let mut firsts = HashSet::new();
+        for master in [2022u64, 2023] {
+            for t in 0..8 {
+                let mut rng = Rng::from_seed(handle_seed("live", 8, master, t));
+                assert!(
+                    firsts.insert(rng.next_u64()),
+                    "stream collision at master {master}, handle {t}"
+                );
+            }
+        }
     }
 }

@@ -474,12 +474,9 @@ fn help_text(description: &str, extra: &[FlagSpec]) -> String {
 pub fn experiment_seed(tag: &str, seed: u64) -> u64 {
     // FNV-1a over the tag, then through the point_seed mixer with the
     // digest as the index, so tag and seed both pass a full avalanche.
-    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in tag.bytes() {
-        digest ^= u64::from(byte);
-        digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    balloc_core::rng::point_seed(seed, digest)
+    let mut digest = balloc_core::rng::Fnv1a::new();
+    digest.write_bytes(tag.as_bytes());
+    balloc_core::rng::point_seed(seed, digest.finish())
 }
 
 /// Formats a float with three decimals for tables.

@@ -160,3 +160,28 @@ fn balloc_binary_rejects_bad_flag_with_exit_2_and_suggestion() {
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(stderr.contains("did you mean `--seed`?"), "{stderr}");
 }
+
+#[test]
+fn serve_bench_replay_json_is_byte_identical_across_runs() {
+    // The serving layer's determinism contract, checked at the binary
+    // level: `serve_bench --replay` output (decision digests, gaps,
+    // counts — everything but wall-clock, which --replay omits) is a pure
+    // function of the seed, so two runs must agree byte for byte.
+    let run = || {
+        let output = Command::new(env!("CARGO_BIN_EXE_balloc"))
+            .args(["serve_bench", "--smoke", "--replay", "--json", "--seed", "99"])
+            .output()
+            .expect("balloc binary runs");
+        assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+        output.stdout
+    };
+    let first = run();
+    assert_eq!(first, run(), "replay output must be bit-identical");
+    // …and a different seed genuinely changes the decisions.
+    let other = Command::new(env!("CARGO_BIN_EXE_balloc"))
+        .args(["serve_bench", "--smoke", "--replay", "--json", "--seed", "100"])
+        .output()
+        .expect("balloc binary runs");
+    assert!(other.status.success());
+    assert_ne!(first, other.stdout, "a new seed must produce new decisions");
+}

@@ -267,6 +267,31 @@ impl LoadState {
         }
     }
 
+    /// Copies the load vector into `dst` — snapshot support for serving
+    /// front-ends that make allocation decisions against a periodically
+    /// refreshed copy of the loads (the `b-Batch`/`τ-Delay` regimes) and
+    /// for shard owners publishing their bin range into a global view.
+    ///
+    /// Reuses the caller's buffer so a refresh allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len() != n`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use balloc_core::LoadState;
+    /// let state = LoadState::from_loads(vec![2, 0, 1]);
+    /// let mut snapshot = vec![0; 3];
+    /// state.copy_loads_into(&mut snapshot);
+    /// assert_eq!(snapshot, [2, 0, 1]);
+    /// ```
+    #[inline]
+    pub fn copy_loads_into(&self, dst: &mut [u64]) {
+        dst.copy_from_slice(&self.loads);
+    }
+
     /// Begins a batched allocation scope with deferred aggregate
     /// maintenance.
     ///
@@ -527,6 +552,29 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_bins_rejected() {
         let _ = LoadState::new(0);
+    }
+
+    #[test]
+    fn copy_loads_into_matches_loads() {
+        let mut rng = Rng::from_seed(5);
+        let mut s = LoadState::new(9);
+        for _ in 0..500 {
+            s.allocate(rng.below_usize(9));
+        }
+        let mut snapshot = vec![0; 9];
+        s.copy_loads_into(&mut snapshot);
+        assert_eq!(snapshot, s.loads());
+        // The snapshot is a copy: later allocations do not touch it.
+        s.allocate(0);
+        assert_ne!(snapshot[0], s.load(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn copy_loads_into_rejects_wrong_length() {
+        let s = LoadState::new(3);
+        let mut dst = vec![0; 2];
+        s.copy_loads_into(&mut dst);
     }
 
     #[test]

@@ -487,6 +487,63 @@ fn derive_seed(master_seed: u64, index: u64, tag: u64) -> u64 {
     sm2.next_u64()
 }
 
+/// Incremental 64-bit FNV-1a — the workspace's canonical non-crypto
+/// digest, used wherever a stable stream fingerprint feeds the seeding or
+/// determinism machinery (the `experiment_seed` domain-tag digest, the
+/// serving layer's decision-stream digest).
+///
+/// Lives next to [`point_seed`] because its outputs typically flow into
+/// the seed mixers; like them it is **frozen** — the reference values
+/// below pin the constants, since recorded digests (e.g. in
+/// `BENCH_baseline.json`) must stay comparable across versions.
+///
+/// # Examples
+///
+/// ```
+/// use balloc_core::rng::Fnv1a;
+///
+/// let mut digest = Fnv1a::new();
+/// digest.write_bytes(b"abc");
+/// // Reference value of 64-bit FNV-1a("abc").
+/// assert_eq!(digest.finish(), 0xe71f_a219_0541_574b);
+/// assert_eq!(Fnv1a::new().finish(), 0xcbf2_9ce4_8422_2325); // offset basis
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A digest at the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds a byte slice into the digest.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Folds one `u64` into the digest (little-endian byte order).
+    pub fn write_u64(&mut self, value: u64) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    /// The current digest value.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -64,13 +64,23 @@ impl QueueMetrics {
     }
 
     /// Time-averaged queue length per server.
+    ///
+    /// Returns `0.0` for `n == 0` (an empty server set holds no queues):
+    /// metric accessors never produce non-finite values, so reports and
+    /// their JSON artifacts stay valid whatever the caller passes.
     #[must_use]
     pub fn average_queue(&self, n: usize) -> f64 {
-        self.average_jobs() / n as f64
+        if n == 0 {
+            0.0
+        } else {
+            self.average_jobs() / n as f64
+        }
     }
 
     /// Mean sojourn time in slots, via Little's law
     /// (`L = λ_eff · W` with `λ_eff` the observed arrival rate).
+    ///
+    /// Returns `0.0` before any arrival has been admitted.
     #[must_use]
     pub fn mean_sojourn(&self) -> f64 {
         if self.arrivals == 0 {
@@ -164,6 +174,22 @@ impl Supermarket {
     #[must_use]
     pub fn metrics(&self) -> QueueMetrics {
         self.metrics
+    }
+
+    /// The queue lengths arrivals currently *see*: the live queues, or —
+    /// under [`JoinPolicy::TwoChoiceStale`] — the stale snapshot.
+    ///
+    /// The snapshot-refresh contract (pinned by regression tests): in a
+    /// refresh slot (slot 0 and every exact `update_period` multiple) the
+    /// snapshot is refreshed *before* that slot's arrivals, so the first
+    /// arrival of a refresh slot sees the state the previous slot left
+    /// behind, never information that is `update_period + 1` slots old.
+    #[must_use]
+    pub fn reported_queues(&self) -> &[u64] {
+        match self.policy {
+            JoinPolicy::TwoChoiceStale { .. } => &self.snapshot,
+            _ => self.queues.loads(),
+        }
     }
 
     /// The queue length an arrival *sees* for server `i`.
@@ -367,5 +393,98 @@ mod tests {
         assert_eq!(m.average_jobs(), 0.0);
         assert_eq!(m.mean_sojourn(), 0.0);
         assert_eq!(market.jobs_in_system(), 0);
+    }
+
+    #[test]
+    fn average_queue_of_zero_servers_is_zero_not_nan() {
+        // Regression: average_queue(0) divided by zero, so a caller
+        // normalizing by an empty server set fed NaN (or +inf on a busy
+        // system) straight into reports and their JSON artifacts.
+        let (_, m) = run_market(JoinPolicy::TwoChoice, 0.6, 0.8, 11);
+        assert!(m.arrivals > 0, "busy system expected");
+        assert_eq!(m.average_queue(0), 0.0);
+        let empty = QueueMetrics::default();
+        assert_eq!(empty.average_queue(0), 0.0);
+    }
+
+    #[test]
+    fn metrics_never_go_non_finite() {
+        // Every accessor must stay finite at every prefix of a run,
+        // including the empty one (slots == 0, arrivals == 0).
+        let mut market = Supermarket::new(7, 0.9, 0.9, JoinPolicy::TwoChoice);
+        let mut rng = Rng::from_seed(13);
+        for n in [0usize, 7, 0, 1] {
+            let m = market.metrics();
+            for value in [
+                m.average_jobs(),
+                m.average_queue(n),
+                m.mean_sojourn(),
+            ] {
+                assert!(value.is_finite(), "non-finite metric {value} at slots = {}", m.slots);
+            }
+            market.step(&mut rng);
+        }
+    }
+
+    #[test]
+    fn stale_snapshot_refreshes_before_arrivals_at_slot_zero() {
+        // Slot 0 is a refresh slot: its arrivals must see the pre-arrival
+        // (empty) state. If the refresh ran *after* the arrivals, the
+        // retained snapshot would already contain slot 0's jobs.
+        let mut market = Supermarket::new(
+            8,
+            1.0,
+            0.01,
+            JoinPolicy::TwoChoiceStale { update_period: 100 },
+        );
+        let mut rng = Rng::from_seed(3);
+        market.step(&mut rng);
+        assert!(market.metrics().arrivals > 0);
+        assert!(
+            market.reported_queues().iter().all(|&q| q == 0),
+            "slot-0 snapshot must capture the pre-arrival state"
+        );
+    }
+
+    #[test]
+    fn stale_snapshot_refreshes_before_arrivals_at_exact_period_multiples() {
+        // λ = 1 ⇒ n arrivals every slot, μ tiny ⇒ queues change every
+        // slot, so each possible off-by-one produces a distinct snapshot:
+        //  * refresh *after* arrivals would capture slot p's own jobs;
+        //  * `slots % p == p − 1` (or `slots + 1` style counting) would
+        //    overwrite the snapshot one slot early, failing the
+        //    stays-stale assertions below.
+        let period = 3;
+        let mut market = Supermarket::new(
+            8,
+            1.0,
+            0.01,
+            JoinPolicy::TwoChoiceStale { update_period: period },
+        );
+        let mut rng = Rng::from_seed(4);
+        // Slots 0 .. period − 1: the snapshot keeps the slot-0 (empty)
+        // state the whole period through.
+        for slot in 0..period {
+            market.step(&mut rng);
+            assert!(
+                market.reported_queues().iter().all(|&q| q == 0),
+                "snapshot refreshed early, at slot {slot} of the first period"
+            );
+        }
+        // Slot `period` is the next refresh slot: the snapshot must equal
+        // the queues exactly as the previous slot left them (refresh
+        // *before* arrivals), not the post-arrival state.
+        let pre_step = market.queues().to_vec();
+        market.step(&mut rng);
+        assert_eq!(
+            market.reported_queues(),
+            &pre_step[..],
+            "refresh-slot snapshot must be the pre-arrival state"
+        );
+        assert_ne!(
+            market.reported_queues(),
+            market.queues(),
+            "λ = 1 guarantees the refresh slot's arrivals changed the queues"
+        );
     }
 }

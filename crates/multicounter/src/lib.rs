@@ -115,6 +115,32 @@ impl MultiCounter {
             .collect()
     }
 
+    /// Copies a snapshot of the per-cell values into `dst` (each cell read
+    /// once, in order) without allocating — the refresh path of serving
+    /// front-ends that treat the counter as a load backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len() != width`.
+    pub fn cells_into(&self, dst: &mut [u64]) {
+        assert_eq!(dst.len(), self.cells.len(), "snapshot buffer width mismatch");
+        for (slot, cell) in dst.iter_mut().zip(self.cells.iter()) {
+            *slot = cell.load(Ordering::Relaxed);
+        }
+    }
+
+    /// Increments cell `cell` directly, with the target chosen by the
+    /// caller — the backend hook for external two-choice policies (e.g. a
+    /// serving front-end deciding against its own stale snapshot) as
+    /// opposed to [`increment`](Self::increment)'s built-in rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell >= width`.
+    pub fn bump(&self, cell: usize) {
+        self.cells[cell].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// The quality of the structure: `max cell − average cell` — the
     /// balanced-allocations *gap* of the stripe loads. Smaller is better;
     /// the paper's `g-Adv-Comp`/`τ-Delay` theorems bound it.
@@ -296,6 +322,27 @@ mod tests {
     fn zero_refresh_rejected() {
         let c = MultiCounter::new(2);
         let _ = c.cached_handle(0, 0);
+    }
+
+    #[test]
+    fn bump_and_cells_into_agree_with_cells() {
+        let c = MultiCounter::new(6);
+        for cell in [0usize, 3, 3, 5] {
+            c.bump(cell);
+        }
+        assert_eq!(c.value(), 4);
+        let mut snapshot = vec![0; 6];
+        c.cells_into(&mut snapshot);
+        assert_eq!(snapshot, c.cells());
+        assert_eq!(snapshot, [1, 0, 0, 2, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn cells_into_rejects_wrong_width() {
+        let c = MultiCounter::new(4);
+        let mut dst = vec![0; 3];
+        c.cells_into(&mut dst);
     }
 
     #[test]

@@ -1,0 +1,702 @@
+//! The serve engine: closed-loop concurrent serving and deterministic
+//! single-threaded replay over the same decision code.
+//!
+//! Both modes run the same stack per worker —
+//! `LoadShed(InFlightLimit(AllocService))` over an apply sink — and the
+//! same [`SnapshotAllocator`] decision state with the same per-worker
+//! seeds. They differ only in scheduling:
+//!
+//! * [`run_concurrent`] drives `workers` OS threads through
+//!   `workpool::par_map_indexed`; shard state lives behind
+//!   [`Buffer`](crate::Buffer) workers and snapshot refreshes race with
+//!   applies, so decisions (and the achieved gap) vary run to run while
+//!   totals are exact;
+//! * [`run_replay`] interleaves the same virtual workers round-robin on
+//!   one thread with direct (unbuffered) shard access, making the
+//!   decision stream a pure function of the seed — bit-identical across
+//!   runs, digestible, and diffable (the determinism contract extends
+//!   PR 2's sweep seeding and PR 4's batched-engine guarantees to the
+//!   serving layer).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use balloc_core::rng::{point_seed, Fnv1a};
+use balloc_core::LoadState;
+use balloc_multicounter::MultiCounter;
+
+use crate::buffer::Buffer;
+use crate::limit::{InFlightLimitLayer, Permits};
+use crate::service::{Layer, Request, Response, ServeError, Service};
+use crate::shard::{merge_states, shard_ranges, ShardRequest, ShardResponse, ShardService};
+use crate::shed::{LoadShedLayer, ShedCounter};
+use crate::snapshot::{SnapshotAllocator, Staleness};
+
+/// Which authoritative load store backs the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// `S` shards, each an owned [`LoadState`] behind a buffer worker
+    /// (replay: called directly).
+    Sharded,
+    /// One shared [`MultiCounter`] with `n` cells — the service then
+    /// doubles as a stress harness for the counter (applies are
+    /// `fetch_add`s, refreshes are cell scans).
+    Multicounter,
+}
+
+/// Configuration of one serve run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Number of bins (cells under [`BackendKind::Multicounter`]).
+    pub n: usize,
+    /// Number of shards (ignored by the multicounter backend).
+    pub shards: usize,
+    /// Serving workers (threads in concurrent mode, virtual round-robin
+    /// workers in replay mode).
+    pub workers: usize,
+    /// Total requests across all workers.
+    pub requests: u64,
+    /// The request template every client issues.
+    pub request: Request,
+    /// Snapshot refresh policy.
+    pub staleness: Staleness,
+    /// Capacity of each shard's request buffer.
+    pub buffer_capacity: usize,
+    /// Optional in-flight limit across all workers (`None` = unlimited).
+    pub inflight: Option<usize>,
+    /// The authoritative load store.
+    pub backend: BackendKind,
+    /// Master seed; worker `w`'s RNG stream derives via
+    /// [`point_seed`]`(seed, w)`.
+    pub seed: u64,
+}
+
+impl ServeConfig {
+    /// A small, fast configuration used by tests and doctests.
+    #[must_use]
+    pub fn demo(n: usize, shards: usize, seed: u64) -> Self {
+        Self {
+            n,
+            shards,
+            workers: 2,
+            requests: (n as u64) * 8,
+            request: Request::two_choice(),
+            staleness: Staleness::Batch { b: n as u64 },
+            buffer_capacity: 1024,
+            inflight: None,
+            backend: BackendKind::Sharded,
+            seed,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.n > 0, "need at least one bin");
+        assert!(self.workers > 0, "need at least one worker");
+        assert!(self.buffer_capacity > 0, "buffer capacity must be positive");
+        assert!(
+            self.inflight != Some(0),
+            "in-flight limit must be positive (use None for unlimited)"
+        );
+        self.staleness.validate();
+        if self.backend == BackendKind::Sharded {
+            // shard_ranges re-checks, but fail early with the full story.
+            assert!(
+                self.shards > 0 && self.shards <= self.n,
+                "shards must lie in 1..=n (got {} shards over {} bins)",
+                self.shards,
+                self.n
+            );
+        }
+    }
+
+    /// Requests served by worker `w` (round-robin split of
+    /// [`requests`](Self::requests)).
+    fn requests_of_worker(&self, w: usize) -> u64 {
+        let per = self.requests / self.workers as u64;
+        let extra = self.requests % self.workers as u64;
+        per + u64::from((w as u64) < extra)
+    }
+}
+
+/// What a serve run did, measured on the authoritative end state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutcome {
+    /// Requests issued (= [`ServeConfig::requests`]).
+    pub requests: u64,
+    /// Requests that placed a ball.
+    pub allocated: u64,
+    /// Requests shed by the load-shed layer (buffer full / at capacity).
+    pub shed: u64,
+    /// Snapshot refreshes summed over workers.
+    pub refreshes: u64,
+    /// Wall-clock time of the closed loop.
+    pub elapsed: Duration,
+    /// Requests per second over the closed loop (allocated + shed).
+    pub throughput_rps: f64,
+    /// Gap of the final authoritative load vector,
+    /// `max_i x_i − allocated/n`.
+    pub gap: f64,
+    /// Maximum final bin load.
+    pub max_load: u64,
+}
+
+impl ServeOutcome {
+    fn measure(
+        requests: u64,
+        allocated: u64,
+        shed: u64,
+        refreshes: u64,
+        elapsed: Duration,
+        state: &LoadState,
+    ) -> Self {
+        let secs = elapsed.as_secs_f64();
+        Self {
+            requests,
+            allocated,
+            shed,
+            refreshes,
+            elapsed,
+            throughput_rps: if secs > 0.0 { requests as f64 / secs } else { 0.0 },
+            gap: state.gap(),
+            max_load: state.max_load(),
+        }
+    }
+}
+
+/// A replayed run: the [`ServeOutcome`] plus the decision-stream digest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOutcome {
+    /// The run's measurements (every field except
+    /// [`elapsed`](ServeOutcome::elapsed) /
+    /// [`throughput_rps`](ServeOutcome::throughput_rps) is deterministic).
+    pub outcome: ServeOutcome,
+    /// FNV-1a digest of the decision stream (chosen bin per request, in
+    /// issue order) — two replays at the same config and seed produce the
+    /// same digest, byte for byte.
+    pub digest: u64,
+}
+
+/// The engine clock: completed requests, shared across workers (the
+/// "slots" unit of [`Staleness::Delay`]).
+#[derive(Debug, Clone, Default)]
+struct Clock(Arc<AtomicU64>);
+
+impl Clock {
+    fn now(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn tick(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Where decided allocations land and where snapshot refreshes read from.
+trait ApplySink {
+    /// Places one ball into (global) bin `bin`.
+    fn apply(&mut self, bin: usize) -> Result<(), ServeError>;
+    /// Overwrites `snapshot` with a current reading of all `n` loads.
+    fn refresh(&mut self, snapshot: &mut [u64]) -> Result<(), ServeError>;
+}
+
+/// Shard index owning global bin `bin` under [`shard_ranges`]`(n, shards)`
+/// block partitioning: the unique `s` with `s·n/S ⩽ bin < (s+1)·n/S`.
+#[inline]
+fn shard_of(bin: usize, n: usize, shards: usize) -> usize {
+    ((bin + 1) * shards - 1) / n
+}
+
+/// Concurrent sink: cloneable buffer handles to the shard workers, each
+/// paired with the bin range its shard owns (from [`shard_ranges`], so
+/// the partition formula lives in one place).
+#[derive(Clone)]
+struct ShardFanout {
+    shards: Vec<(std::ops::Range<usize>, Buffer<ShardRequest, ShardResponse>)>,
+    n: usize,
+}
+
+impl ApplySink for ShardFanout {
+    fn apply(&mut self, bin: usize) -> Result<(), ServeError> {
+        let s = shard_of(bin, self.n, self.shards.len());
+        debug_assert!(self.shards[s].0.contains(&bin), "shard_of out of sync");
+        // Fire-and-forget: the decision is already made, the shard just
+        // has to absorb the increment. A full buffer is back-pressure.
+        self.shards[s].1.cast(ShardRequest::Apply { bin })
+    }
+
+    fn refresh(&mut self, snapshot: &mut [u64]) -> Result<(), ServeError> {
+        for (range, shard) in &mut self.shards {
+            match shard.call(ShardRequest::ReadLoads)? {
+                ShardResponse::Loads(loads) => {
+                    snapshot[range.clone()].copy_from_slice(&loads);
+                }
+                ShardResponse::Applied => unreachable!("ReadLoads replies with Loads"),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Replay sink: direct, single-threaded shard access.
+struct DirectShards {
+    shards: Vec<ShardService>,
+    n: usize,
+}
+
+impl ApplySink for DirectShards {
+    fn apply(&mut self, bin: usize) -> Result<(), ServeError> {
+        let s = shard_of(bin, self.n, self.shards.len());
+        self.shards[s].call(ShardRequest::Apply { bin }).map(|_| ())
+    }
+
+    fn refresh(&mut self, snapshot: &mut [u64]) -> Result<(), ServeError> {
+        for shard in &self.shards {
+            shard.publish_into(snapshot);
+        }
+        Ok(())
+    }
+}
+
+/// Multicounter sink (both modes): applies are `fetch_add`s on the shared
+/// counter, refreshes scan the cells.
+#[derive(Clone)]
+struct CounterSink {
+    counter: Arc<MultiCounter>,
+}
+
+impl ApplySink for CounterSink {
+    fn apply(&mut self, bin: usize) -> Result<(), ServeError> {
+        self.counter.bump(bin);
+        Ok(())
+    }
+
+    fn refresh(&mut self, snapshot: &mut [u64]) -> Result<(), ServeError> {
+        self.counter.cells_into(snapshot);
+        Ok(())
+    }
+}
+
+/// The leaf service of a worker's stack: refresh-if-stale, decide against
+/// the snapshot, apply through the sink.
+struct AllocService<K> {
+    alloc: SnapshotAllocator,
+    sink: K,
+    clock: Clock,
+}
+
+impl<K: ApplySink> Service<Request> for AllocService<K> {
+    type Response = Response;
+
+    fn call(&mut self, req: Request) -> Result<Response, ServeError> {
+        let now = self.clock.now();
+        if self.alloc.needs_refresh(now) {
+            self.sink.refresh(self.alloc.snapshot_mut())?;
+            self.alloc.note_refresh(now);
+        }
+        let bin = self.alloc.decide(&req);
+        self.sink.apply(bin)?;
+        self.clock.tick();
+        Ok(Response { bin })
+    }
+}
+
+/// Per-worker closed-loop counters.
+struct WorkerStats {
+    allocated: u64,
+    shed: u64,
+    refreshes: u64,
+}
+
+/// Runs one worker's closed loop over its share of the requests.
+fn worker_loop<K: ApplySink>(
+    cfg: &ServeConfig,
+    w: usize,
+    sink: K,
+    clock: Clock,
+    permits: &Permits,
+    shed: &ShedCounter,
+) -> WorkerStats {
+    let alloc = SnapshotAllocator::new(cfg.n, cfg.staleness, point_seed(cfg.seed, w as u64));
+    let leaf = AllocService {
+        alloc,
+        sink,
+        clock,
+    };
+    let limited = InFlightLimitLayer::new(permits.clone()).layer(leaf);
+    let mut stack = LoadShedLayer::new(shed.clone()).layer(limited);
+    let mut stats = WorkerStats {
+        allocated: 0,
+        shed: 0,
+        refreshes: 0,
+    };
+    for _ in 0..cfg.requests_of_worker(w) {
+        match stack.call(cfg.request) {
+            Ok(_) => stats.allocated += 1,
+            Err(ServeError::Shed) => stats.shed += 1,
+            Err(e) => panic!("serve worker {w} hit a non-shed failure: {e}"),
+        }
+    }
+    stats.refreshes = stack.into_inner().into_inner().alloc.refreshes();
+    stats
+}
+
+/// Runs the closed-loop **concurrent** engine: `workers` threads hammer
+/// the layered service as fast as they can until the request budget is
+/// spent, then the shard workers are drained and joined and the outcome
+/// is measured on the reassembled authoritative state.
+///
+/// Totals are exact (`allocated + shed == requests`, and the final state
+/// holds exactly `allocated` balls); the decision stream is *not*
+/// deterministic — that is [`run_replay`]'s contract.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration (zero bins/workers/capacity,
+/// `shards ∉ 1..=n`) or if a worker hits a non-shed failure.
+///
+/// # Examples
+///
+/// ```
+/// use balloc_serve::{run_concurrent, ServeConfig};
+///
+/// let outcome = run_concurrent(&ServeConfig::demo(64, 4, 7));
+/// assert_eq!(outcome.allocated + outcome.shed, outcome.requests);
+/// ```
+#[must_use]
+pub fn run_concurrent(cfg: &ServeConfig) -> ServeOutcome {
+    cfg.validate();
+    let clock = Clock::default();
+    // No explicit limit ⇒ one permit per worker, which can never bind
+    // (each closed-loop worker has at most one request in flight).
+    let permits = Permits::new(cfg.inflight.unwrap_or(cfg.workers));
+    let shed = ShedCounter::new();
+    match cfg.backend {
+        BackendKind::Sharded => {
+            let mut handles = Vec::new();
+            let mut controllers = Vec::new();
+            for range in shard_ranges(cfg.n, cfg.shards) {
+                let (handle, controller) =
+                    Buffer::spawn(ShardService::new(range.clone()), cfg.buffer_capacity);
+                handles.push((range, handle));
+                controllers.push(controller);
+            }
+            let fanout = ShardFanout {
+                shards: handles,
+                n: cfg.n,
+            };
+            let (stats, elapsed) = closed_loop(cfg, &clock, &permits, &shed, &fanout);
+            drop(fanout);
+            let shards: Vec<ShardService> =
+                controllers.into_iter().map(|c| c.join()).collect();
+            let state = merge_states(&shards);
+            finish(cfg, stats, elapsed, &shed, &state)
+        }
+        BackendKind::Multicounter => {
+            let sink = CounterSink {
+                counter: Arc::new(MultiCounter::new(cfg.n)),
+            };
+            let (stats, elapsed) = closed_loop(cfg, &clock, &permits, &shed, &sink);
+            let state = LoadState::from_loads(sink.counter.cells());
+            finish(cfg, stats, elapsed, &shed, &state)
+        }
+    }
+}
+
+/// Fans the worker loops out over the work-stealing pool and times them.
+fn closed_loop<K>(
+    cfg: &ServeConfig,
+    clock: &Clock,
+    permits: &Permits,
+    shed: &ShedCounter,
+    sink: &K,
+) -> (Vec<WorkerStats>, Duration)
+where
+    K: ApplySink + Clone + Sync,
+{
+    let start = Instant::now();
+    let stats = workpool::par_map_indexed(cfg.workers, cfg.workers, |w| {
+        worker_loop(cfg, w, sink.clone(), clock.clone(), permits, shed)
+    });
+    (stats, start.elapsed())
+}
+
+/// Folds worker stats and the final state into a [`ServeOutcome`],
+/// asserting the conservation invariants.
+fn finish(
+    cfg: &ServeConfig,
+    stats: Vec<WorkerStats>,
+    elapsed: Duration,
+    shed: &ShedCounter,
+    state: &LoadState,
+) -> ServeOutcome {
+    let allocated: u64 = stats.iter().map(|s| s.allocated).sum();
+    let shed_total: u64 = stats.iter().map(|s| s.shed).sum();
+    let refreshes: u64 = stats.iter().map(|s| s.refreshes).sum();
+    assert_eq!(
+        allocated + shed_total,
+        cfg.requests,
+        "every request must be either allocated or shed"
+    );
+    assert_eq!(
+        shed.count(),
+        shed_total,
+        "the shed layer's counter must agree with the workers'"
+    );
+    assert_eq!(
+        state.balls(),
+        allocated,
+        "the drained authoritative state must hold every allocated ball"
+    );
+    ServeOutcome::measure(cfg.requests, allocated, shed_total, refreshes, elapsed, state)
+}
+
+/// Runs the **deterministic replay** engine: the same per-worker decision
+/// states as [`run_concurrent`] (same seeds, same stack semantics), but
+/// interleaved round-robin on the calling thread with direct shard
+/// access, so the decision stream — and therefore the digest, the final
+/// loads, the gap, and every count — is a pure function of the
+/// configuration and seed.
+///
+/// This is the serving layer's extension of the workspace determinism
+/// contract: run it twice at the same seed and compare
+/// [`ReplayOutcome::digest`] bit for bit.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration, like [`run_concurrent`].
+///
+/// # Examples
+///
+/// ```
+/// use balloc_serve::{run_replay, ServeConfig};
+///
+/// let cfg = ServeConfig::demo(64, 4, 7);
+/// let a = run_replay(&cfg);
+/// let b = run_replay(&cfg);
+/// assert_eq!(a.digest, b.digest);
+/// assert_eq!(a.outcome.gap, b.outcome.gap);
+/// ```
+#[must_use]
+pub fn run_replay(cfg: &ServeConfig) -> ReplayOutcome {
+    cfg.validate();
+    match cfg.backend {
+        BackendKind::Sharded => {
+            let sink = DirectShards {
+                shards: shard_ranges(cfg.n, cfg.shards)
+                    .into_iter()
+                    .map(ShardService::new)
+                    .collect(),
+                n: cfg.n,
+            };
+            let (outcome_parts, digest, sink) = replay_loop(cfg, sink);
+            let state = merge_states(&sink.shards);
+            let (stats, elapsed) = outcome_parts;
+            let shed = ShedCounter::new();
+            ReplayOutcome {
+                outcome: finish(cfg, stats, elapsed, &shed, &state),
+                digest,
+            }
+        }
+        BackendKind::Multicounter => {
+            let sink = CounterSink {
+                counter: Arc::new(MultiCounter::new(cfg.n)),
+            };
+            let (outcome_parts, digest, sink) = replay_loop(cfg, sink);
+            let state = LoadState::from_loads(sink.counter.cells());
+            let (stats, elapsed) = outcome_parts;
+            let shed = ShedCounter::new();
+            ReplayOutcome {
+                outcome: finish(cfg, stats, elapsed, &shed, &state),
+                digest,
+            }
+        }
+    }
+}
+
+/// The round-robin single-threaded loop shared by both replay backends.
+#[allow(clippy::type_complexity)]
+fn replay_loop<K: ApplySink>(
+    cfg: &ServeConfig,
+    mut sink: K,
+) -> ((Vec<WorkerStats>, Duration), u64, K) {
+    let mut workers: Vec<SnapshotAllocator> = (0..cfg.workers)
+        .map(|w| SnapshotAllocator::new(cfg.n, cfg.staleness, point_seed(cfg.seed, w as u64)))
+        .collect();
+    let mut digest = Fnv1a::new();
+    let start = Instant::now();
+    for t in 0..cfg.requests {
+        let w = (t % cfg.workers as u64) as usize;
+        let alloc = &mut workers[w];
+        if alloc.needs_refresh(t) {
+            sink.refresh(alloc.snapshot_mut())
+                .expect("direct sinks cannot reject");
+            alloc.note_refresh(t);
+        }
+        let bin = alloc.decide(&cfg.request);
+        sink.apply(bin).expect("direct sinks cannot reject");
+        digest.write_u64(bin as u64);
+    }
+    let elapsed = start.elapsed();
+    let stats = workers
+        .iter()
+        .enumerate()
+        .map(|(w, alloc)| WorkerStats {
+            // Round-robin assigns worker w exactly its concurrent-mode
+            // share (requests_of_worker): per + 1 for the first
+            // `requests % workers` workers.
+            allocated: cfg.requests_of_worker(w),
+            shed: 0,
+            refreshes: alloc.refreshes(),
+        })
+        .collect();
+    ((stats, elapsed), digest.finish(), sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::NoiseMode;
+
+    #[test]
+    fn shard_of_agrees_with_shard_ranges() {
+        for (n, shards) in [(10usize, 3usize), (128, 8), (7, 7), (1000, 13), (64, 1)] {
+            let ranges = shard_ranges(n, shards);
+            for bin in 0..n {
+                let s = shard_of(bin, n, shards);
+                assert!(
+                    ranges[s].contains(&bin),
+                    "bin {bin} mapped to shard {s} ({:?}) for n = {n}, S = {shards}",
+                    ranges[s]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_conserves_every_request() {
+        let mut cfg = ServeConfig::demo(64, 4, 3);
+        cfg.workers = 4;
+        let outcome = run_concurrent(&cfg);
+        assert_eq!(outcome.allocated + outcome.shed, outcome.requests);
+        assert_eq!(outcome.requests, cfg.requests);
+        assert!(outcome.refreshes >= cfg.workers as u64, "each worker primes once");
+    }
+
+    #[test]
+    fn concurrent_multicounter_backend_counts_exactly() {
+        let mut cfg = ServeConfig::demo(32, 1, 5);
+        cfg.backend = BackendKind::Multicounter;
+        cfg.workers = 4;
+        let outcome = run_concurrent(&cfg);
+        // The counter sink never sheds: every request lands.
+        assert_eq!(outcome.allocated, cfg.requests);
+        assert_eq!(outcome.shed, 0);
+    }
+
+    #[test]
+    fn replay_is_bit_identical_across_runs() {
+        for backend in [BackendKind::Sharded, BackendKind::Multicounter] {
+            let mut cfg = ServeConfig::demo(64, 4, 11);
+            cfg.backend = backend;
+            cfg.workers = 3;
+            let a = run_replay(&cfg);
+            let b = run_replay(&cfg);
+            assert_eq!(a.digest, b.digest, "{backend:?}");
+            assert_eq!(a.outcome.gap, b.outcome.gap);
+            assert_eq!(a.outcome.max_load, b.outcome.max_load);
+            assert_eq!(a.outcome.allocated, b.outcome.allocated);
+        }
+    }
+
+    #[test]
+    fn replay_differs_across_seeds() {
+        let a = run_replay(&ServeConfig::demo(64, 2, 1));
+        let b = run_replay(&ServeConfig::demo(64, 2, 2));
+        assert_ne!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn replay_shards_do_not_change_decisions() {
+        // Sharding is a storage layout, not a policy: at a fixed seed the
+        // decision stream is identical whatever S is, because decisions
+        // only ever read snapshots of the same global vector.
+        let digests: Vec<u64> = [1usize, 2, 8]
+            .into_iter()
+            .map(|shards| run_replay(&ServeConfig::demo(64, shards, 9)).digest)
+            .collect();
+        assert_eq!(digests[0], digests[1]);
+        assert_eq!(digests[0], digests[2]);
+    }
+
+    #[test]
+    fn fresher_snapshots_give_smaller_gaps() {
+        let n = 256;
+        let gap_of = |b: u64| {
+            let mut cfg = ServeConfig::demo(n, 4, 17);
+            cfg.workers = 1;
+            cfg.requests = (n as u64) * 64;
+            cfg.staleness = Staleness::Batch { b };
+            run_replay(&cfg).outcome.gap
+        };
+        let fresh = gap_of(1);
+        let stale = gap_of((n as u64) * 16);
+        assert!(
+            fresh < stale,
+            "b = 1 gap {fresh} should beat b = 16n gap {stale}"
+        );
+    }
+
+    #[test]
+    fn one_choice_requests_ignore_staleness() {
+        // d = 1 never reads the snapshot, so extreme staleness changes
+        // nothing about the gap's order of magnitude vs fresh One-Choice.
+        let mut cfg = ServeConfig::demo(128, 2, 23);
+        cfg.request = Request {
+            d: 1,
+            noise: NoiseMode::Snapshot,
+        };
+        cfg.staleness = Staleness::Batch { b: 1_000_000 };
+        let outcome = run_replay(&cfg).outcome;
+        assert_eq!(outcome.allocated, cfg.requests);
+    }
+
+    #[test]
+    fn tiny_inflight_limit_sheds_under_contention() {
+        // With 4 threads and a single permit, some calls must collide and
+        // shed; totals still conserve.
+        let mut cfg = ServeConfig::demo(64, 2, 29);
+        cfg.workers = 4;
+        cfg.inflight = Some(1);
+        let outcome = run_concurrent(&cfg);
+        assert_eq!(outcome.allocated + outcome.shed, outcome.requests);
+    }
+
+    #[test]
+    fn delay_staleness_serves_end_to_end() {
+        let mut cfg = ServeConfig::demo(64, 2, 31);
+        cfg.staleness = Staleness::Delay { tau: 64 };
+        let replay = run_replay(&cfg);
+        assert_eq!(replay.outcome.allocated, cfg.requests);
+        assert!(replay.outcome.refreshes > cfg.workers as u64);
+        let live = run_concurrent(&cfg);
+        assert_eq!(live.allocated + live.shed, cfg.requests);
+    }
+
+    #[test]
+    #[should_panic(expected = "shards must lie in 1..=n")]
+    fn invalid_shard_count_rejected() {
+        let cfg = ServeConfig::demo(4, 8, 0);
+        let _ = run_concurrent(&cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "in-flight limit must be positive")]
+    fn zero_inflight_limit_rejected() {
+        // Regression: Some(0) used to be silently clamped to a limit of
+        // 1, serving everything instead of surfacing the misconfiguration.
+        let mut cfg = ServeConfig::demo(8, 2, 0);
+        cfg.inflight = Some(0);
+        let _ = run_concurrent(&cfg);
+    }
+}

@@ -1,0 +1,88 @@
+//! Sharded allocation serving front-end — the paper's noise models as a
+//! systems component.
+//!
+//! A real load balancer never sees live load: it sees counters scraped a
+//! batch ago, gossip delayed by a network round-trip, a snapshot another
+//! worker refreshed. *Balanced Allocations with the Choice of Noise* (and
+//! the batched follow-ups it cites) is precisely the theory of how much
+//! that staleness costs, so this crate turns the theory around and builds
+//! the system: a service that places balls (requests) into `n` bins
+//! (backends) with Two-Choice decisions made **against stale snapshots**,
+//! while the authoritative loads live in `S` shards, each an owned
+//! [`LoadState`](balloc_core::LoadState) behind a worker.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  client workers (workpool)          shard workers (Buffer threads)
+//!  ┌───────────────────────────┐       ┌─────────────────────────┐
+//!  │ LoadShed                  │ cast  │ bounded queue ─ drain ─▶│
+//!  │  └ InFlightLimit          │──────▶│  ShardService           │
+//!  │     └ AllocService        │       │   owns LoadState        │
+//!  │        snapshot ◀─────────│◀──────│  (bins s·n/S..(s+1)n/S) │
+//!  │        (refresh: b / τ)    │ call  └─────────────────────────┘
+//!  └───────────────────────────┘            × S shards
+//! ```
+//!
+//! * [`Service`]/[`Layer`] — tower-style synchronous service traits;
+//! * [`Buffer`] — bounded request buffer in front of a worker-owned
+//!   service (back-pressure via [`ServeError::BufferFull`]);
+//! * [`InFlightLimit`]/[`Permits`] — a fleet-wide concurrency cap;
+//! * [`LoadShed`]/[`ShedCounter`] — converts back-pressure into counted,
+//!   typed drops;
+//! * [`SnapshotAllocator`]/[`Staleness`] — the decision state: private
+//!   snapshots refreshed every `b` own requests (`b-Batch`) or at age `τ`
+//!   (`τ-Delay`);
+//! * [`run_concurrent`]/[`run_replay`] — the closed-loop engine and its
+//!   deterministic single-threaded replay twin;
+//! * [`BackendKind::Multicounter`] — swaps the sharded store for a
+//!   [`MultiCounter`](balloc_multicounter::MultiCounter), turning the
+//!   engine into a stress harness for the counter.
+//!
+//! # Determinism contract
+//!
+//! [`run_replay`] decisions are a pure function of `(config, seed)`:
+//! two runs at the same seed produce bit-identical decision streams
+//! (asserted via [`ReplayOutcome::digest`]), final loads, gaps, and
+//! counts. Worker `w`'s RNG stream derives via
+//! [`point_seed`](balloc_core::rng::point_seed)`(seed, w)` — the same
+//! mixer discipline as the sweep engine, so serving never shares streams
+//! with the simulation experiments. [`run_concurrent`] keeps the exact
+//! *conservation* guarantees (`allocated + shed == requests`, final state
+//! holds exactly `allocated` balls) but lets the decision stream race —
+//! measuring that race against the replayed baseline is the point of the
+//! `balloc serve_bench` experiment.
+//!
+//! # Examples
+//!
+//! ```
+//! use balloc_serve::{run_concurrent, run_replay, ServeConfig};
+//!
+//! let cfg = ServeConfig::demo(128, 4, 2022);
+//! let live = run_concurrent(&cfg);
+//! assert_eq!(live.allocated + live.shed, cfg.requests);
+//!
+//! let replay = run_replay(&cfg);
+//! assert_eq!(replay.outcome.allocated, cfg.requests);
+//! assert_eq!(replay.digest, run_replay(&cfg).digest);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod buffer;
+mod engine;
+mod limit;
+mod service;
+mod shard;
+mod shed;
+mod snapshot;
+
+pub use buffer::{Buffer, BufferController};
+pub use engine::{run_concurrent, run_replay, BackendKind, ReplayOutcome, ServeConfig, ServeOutcome};
+pub use limit::{InFlightLimit, InFlightLimitLayer, Permits};
+pub use service::{decide, Layer, NoiseMode, Request, Response, ServeError, Service};
+pub use shard::{merge_states, shard_ranges, ShardRequest, ShardResponse, ShardService};
+pub use shed::{LoadShed, LoadShedLayer, ShedCounter};
+pub use snapshot::{SnapshotAllocator, Staleness};

@@ -1,0 +1,208 @@
+//! A concurrency (in-flight) limit layer — the tower-in-flight-limit
+//! idiom, synchronously.
+//!
+//! The permit pool is shared: clones of the limited service (one per
+//! serving worker) draw from the same pool, so the limit bounds the whole
+//! fleet's concurrency, not each worker's. A request that cannot get a
+//! permit is rejected with [`ServeError::AtCapacity`] immediately — the
+//! load-shed layer above decides what that costs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::service::{Layer, ServeError, Service};
+
+/// Shared permit pool for [`InFlightLimit`] services.
+#[derive(Debug, Clone)]
+pub struct Permits {
+    in_flight: Arc<AtomicUsize>,
+    limit: usize,
+}
+
+impl Permits {
+    /// Creates a pool allowing `limit` concurrent in-flight requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit == 0`.
+    #[must_use]
+    pub fn new(limit: usize) -> Self {
+        assert!(limit > 0, "in-flight limit must be positive");
+        Self {
+            in_flight: Arc::new(AtomicUsize::new(0)),
+            limit,
+        }
+    }
+
+    /// The configured limit.
+    #[must_use]
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Currently held permits.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Tries to take a permit; the guard releases it on drop.
+    fn acquire(&self) -> Option<PermitGuard<'_>> {
+        let acquired = self
+            .in_flight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |held| {
+                (held < self.limit).then_some(held + 1)
+            });
+        acquired.ok().map(|_| PermitGuard { pool: self })
+    }
+}
+
+/// RAII permit: releases the slot even if the inner call panics.
+struct PermitGuard<'a> {
+    pool: &'a Permits,
+}
+
+impl Drop for PermitGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A [`Service`] enforcing a shared in-flight limit around `inner`.
+#[derive(Debug, Clone)]
+pub struct InFlightLimit<S> {
+    inner: S,
+    permits: Permits,
+}
+
+impl<S> InFlightLimit<S> {
+    /// Wraps `inner` with the shared permit pool.
+    #[must_use]
+    pub fn new(inner: S, permits: Permits) -> Self {
+        Self { inner, permits }
+    }
+
+    /// Unwraps the middleware, returning the inner service (the tower
+    /// `into_inner` idiom — used to read worker-local state back out of a
+    /// finished stack).
+    #[must_use]
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<Req, S: Service<Req>> Service<Req> for InFlightLimit<S> {
+    type Response = S::Response;
+
+    fn call(&mut self, req: Req) -> Result<Self::Response, ServeError> {
+        let Some(_permit) = self.permits.acquire() else {
+            return Err(ServeError::AtCapacity);
+        };
+        self.inner.call(req)
+    }
+}
+
+/// [`Layer`] producing [`InFlightLimit`] services over a shared pool.
+#[derive(Debug, Clone)]
+pub struct InFlightLimitLayer {
+    permits: Permits,
+}
+
+impl InFlightLimitLayer {
+    /// A layer whose services all draw from `permits`.
+    #[must_use]
+    pub fn new(permits: Permits) -> Self {
+        Self { permits }
+    }
+}
+
+impl<S> Layer<S> for InFlightLimitLayer {
+    type Service = InFlightLimit<S>;
+
+    fn layer(&self, inner: S) -> Self::Service {
+        InFlightLimit::new(inner, self.permits.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl Service<u32> for Echo {
+        type Response = u32;
+        fn call(&mut self, req: u32) -> Result<u32, ServeError> {
+            Ok(req)
+        }
+    }
+
+    #[test]
+    fn permits_release_after_each_call() {
+        let permits = Permits::new(1);
+        let mut svc = InFlightLimitLayer::new(permits.clone()).layer(Echo);
+        for i in 0..100 {
+            assert_eq!(svc.call(i), Ok(i));
+        }
+        assert_eq!(permits.in_flight(), 0);
+    }
+
+    #[test]
+    fn saturated_pool_rejects() {
+        // Occupy the single permit from the "outside" by holding a guard,
+        // mimicking another worker mid-call.
+        let permits = Permits::new(1);
+        let guard = permits.acquire().expect("free pool");
+        let mut svc = InFlightLimit::new(Echo, permits.clone());
+        assert_eq!(svc.call(7), Err(ServeError::AtCapacity));
+        drop(guard);
+        assert_eq!(svc.call(7), Ok(7));
+    }
+
+    #[test]
+    fn limit_bounds_cloned_services_jointly() {
+        // A service that records the maximum observed concurrency.
+        struct Tracker {
+            current: Arc<AtomicUsize>,
+            peak: Arc<AtomicUsize>,
+        }
+        impl Service<u32> for Tracker {
+            type Response = u32;
+            fn call(&mut self, req: u32) -> Result<u32, ServeError> {
+                let now = self.current.fetch_add(1, Ordering::SeqCst) + 1;
+                self.peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::yield_now();
+                self.current.fetch_sub(1, Ordering::SeqCst);
+                Ok(req)
+            }
+        }
+        let current = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let permits = Permits::new(2);
+        let layer = InFlightLimitLayer::new(permits.clone());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let mut svc = layer.layer(Tracker {
+                    current: Arc::clone(&current),
+                    peak: Arc::clone(&peak),
+                });
+                scope.spawn(move || {
+                    for i in 0..500 {
+                        let _ = svc.call(i);
+                    }
+                });
+            }
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "peak concurrency {} exceeded the limit",
+            peak.load(Ordering::SeqCst)
+        );
+        assert_eq!(permits.in_flight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_limit_rejected() {
+        let _ = Permits::new(0);
+    }
+}

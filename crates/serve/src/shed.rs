@@ -1,0 +1,159 @@
+//! A load-shed layer — the tower-load-shed idiom, synchronously.
+//!
+//! Back-pressure from lower layers ([`ServeError::BufferFull`] from a
+//! bounded buffer, [`ServeError::AtCapacity`] from the in-flight limit)
+//! surfaces here and is converted into an explicit, *counted* drop:
+//! the caller sees [`ServeError::Shed`], the shared [`ShedCounter`]
+//! records it, and nothing ever blocks or queues unboundedly. Shedding is
+//! the correct overload response for an allocation service — a dropped
+//! request costs one retry upstream, while an unbounded queue costs every
+//! later request its latency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::service::{Layer, ServeError, Service};
+
+/// Shared counter of shed requests (one per service stack, cloned into
+/// every worker's [`LoadShed`] layer).
+#[derive(Debug, Clone, Default)]
+pub struct ShedCounter {
+    shed: Arc<AtomicU64>,
+}
+
+impl ShedCounter {
+    /// A fresh counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total requests shed so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`Service`] converting lower-layer back-pressure into counted sheds.
+#[derive(Debug, Clone)]
+pub struct LoadShed<S> {
+    inner: S,
+    counter: ShedCounter,
+}
+
+impl<S> LoadShed<S> {
+    /// Wraps `inner`, recording sheds into `counter`.
+    #[must_use]
+    pub fn new(inner: S, counter: ShedCounter) -> Self {
+        Self { inner, counter }
+    }
+
+    /// Unwraps the middleware, returning the inner service (the tower
+    /// `into_inner` idiom — used to read worker-local state back out of a
+    /// finished stack).
+    #[must_use]
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<Req, S: Service<Req>> Service<Req> for LoadShed<S> {
+    type Response = S::Response;
+
+    fn call(&mut self, req: Req) -> Result<Self::Response, ServeError> {
+        match self.inner.call(req) {
+            Err(ServeError::BufferFull | ServeError::AtCapacity) => {
+                self.counter.shed.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Shed)
+            }
+            other => other,
+        }
+    }
+}
+
+/// [`Layer`] producing [`LoadShed`] services over a shared counter.
+#[derive(Debug, Clone, Default)]
+pub struct LoadShedLayer {
+    counter: ShedCounter,
+}
+
+impl LoadShedLayer {
+    /// A layer whose services all record into `counter`.
+    #[must_use]
+    pub fn new(counter: ShedCounter) -> Self {
+        Self { counter }
+    }
+}
+
+impl<S> Layer<S> for LoadShedLayer {
+    type Service = LoadShed<S>;
+
+    fn layer(&self, inner: S) -> Self::Service {
+        LoadShed::new(inner, self.counter.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rejects every `k`-th request with the given pressure error.
+    struct Flaky {
+        k: u64,
+        seen: u64,
+        error: ServeError,
+    }
+
+    impl Service<u64> for Flaky {
+        type Response = u64;
+        fn call(&mut self, req: u64) -> Result<u64, ServeError> {
+            self.seen += 1;
+            if self.seen.is_multiple_of(self.k) {
+                Err(self.error)
+            } else {
+                Ok(req)
+            }
+        }
+    }
+
+    #[test]
+    fn back_pressure_becomes_counted_shed() {
+        for pressure in [ServeError::BufferFull, ServeError::AtCapacity] {
+            let counter = ShedCounter::new();
+            let mut svc = LoadShedLayer::new(counter.clone()).layer(Flaky {
+                k: 3,
+                seen: 0,
+                error: pressure,
+            });
+            let mut ok = 0;
+            let mut shed = 0;
+            for i in 0..99 {
+                match svc.call(i) {
+                    Ok(_) => ok += 1,
+                    Err(e) => {
+                        assert_eq!(e, ServeError::Shed);
+                        shed += 1;
+                    }
+                }
+            }
+            assert_eq!((ok, shed), (66, 33));
+            assert_eq!(counter.count(), 33);
+        }
+    }
+
+    #[test]
+    fn non_pressure_errors_pass_through_uncounted() {
+        let counter = ShedCounter::new();
+        let mut svc = LoadShed::new(
+            Flaky {
+                k: 1,
+                seen: 0,
+                error: ServeError::Closed,
+            },
+            counter.clone(),
+        );
+        assert_eq!(svc.call(1), Err(ServeError::Closed));
+        assert_eq!(counter.count(), 0);
+    }
+}

@@ -606,6 +606,43 @@ mod tests {
     }
 
     #[test]
+    fn report_json_with_non_finite_metric_stays_valid_json() {
+        // A non-finite metric (e.g. a 0/0 average from a degenerate run)
+        // must not leak `NaN`/`inf` tokens into the JSON document: the
+        // serializer maps it to null and the document round-trips.
+        #[derive(Serialize)]
+        struct Metrics {
+            mean_gap: f64,
+            throughput: f64,
+        }
+        let mut sink = OutputSink::new("demo", OutputMode::Json).with_save_dir(None);
+        sink.save_artifact(&Metrics {
+            mean_gap: f64::NAN,
+            throughput: f64::INFINITY,
+        });
+        let report = sink.take_report();
+        let artifact = report.artifact_json().expect("artifact recorded");
+        assert!(artifact.contains("null"));
+        assert!(!artifact.contains("NaN") && !artifact.contains("inf"));
+        #[derive(serde::Deserialize, Debug, PartialEq)]
+        struct MetricsBack {
+            mean_gap: Option<f64>,
+            throughput: Option<f64>,
+        }
+        let back: MetricsBack = serde_json::from_str(artifact).expect("valid JSON");
+        assert_eq!(
+            back,
+            MetricsBack {
+                mean_gap: None,
+                throughput: None
+            }
+        );
+        // …and the wrapping document stays parseable too.
+        let doc = report.to_json("Figure 0.0");
+        assert!(serde_json::from_str::<serde::Value>(&doc).is_ok(), "{doc}");
+    }
+
+    #[test]
     fn report_json_without_artifact_is_null() {
         let json = Report::new("empty").to_json("—");
         assert!(json.contains("\"artifact\": null"));

@@ -21,7 +21,9 @@
 //! * [`analysis`](balloc_analysis) — the paper's bound formulas and shape
 //!   fitting;
 //! * [`multicounter`](balloc_multicounter) — the relaxed concurrent
-//!   multi-counter application.
+//!   multi-counter application;
+//! * [`serve`](balloc_serve) — the sharded allocation serving front-end
+//!   (decisions from stale snapshots behind tower-style layers).
 //!
 //! # Quick start
 //!
@@ -84,4 +86,11 @@ pub mod multicounter {
 /// stale information. Re-export of [`balloc_dynamic`].
 pub mod dynamic {
     pub use balloc_dynamic::*;
+}
+
+/// Sharded allocation serving front-end: tower-style layered services
+/// deciding against stale snapshots (`b-Batch`/`τ-Delay` as a systems
+/// component). Re-export of [`balloc_serve`].
+pub mod serve {
+    pub use balloc_serve::*;
 }

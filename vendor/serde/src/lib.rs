@@ -267,6 +267,15 @@ impl Deserialize for bool {
     }
 }
 
+impl Deserialize for Value {
+    /// The identity deserialization (real `serde_json` offers the same for
+    /// its `Value`): lets callers parse arbitrary documents for validity
+    /// and structural inspection without declaring a typed shape.
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 macro_rules! impl_de_int {
     ($($t:ty),*) => {$(
         impl Deserialize for $t {

@@ -3,7 +3,9 @@
 //! Provides the four entry points the workspace uses — [`to_string`],
 //! [`to_string_pretty`], [`from_str`], and the [`Result`] alias — with a
 //! real JSON writer/parser, so serialize→deserialize round-trips preserve
-//! values exactly (floats use Rust's shortest-round-trip formatting).
+//! values exactly (floats use Rust's shortest-round-trip formatting;
+//! non-finite floats serialize as `null` and overflowing number literals
+//! are rejected at parse time, both matching real `serde_json`).
 
 use std::fmt;
 
@@ -250,9 +252,18 @@ impl Parser<'_> {
                 return Ok(Value::Int(i));
             }
         }
-        text.parse::<f64>()
-            .map(Value::Float)
-            .map_err(|e| Error(format!("invalid number `{text}`: {e}")))
+        let f = text
+            .parse::<f64>()
+            .map_err(|e| Error(format!("invalid number `{text}`: {e}")))?;
+        // Rust's float parser saturates overflowing literals ("1e999") to
+        // ±inf; accepting that would materialize non-finite values from
+        // valid-looking JSON text, and re-serializing them as null would
+        // silently corrupt round-trips. Real serde_json rejects such
+        // literals, and so do we.
+        if !f.is_finite() {
+            return Err(Error(format!("number `{text}` out of range")));
+        }
+        Ok(Value::Float(f))
     }
 
     /// Reads the four hex digits of a `\uXXXX` escape starting at `at`.
@@ -393,6 +404,48 @@ mod tests {
             let back: f64 = from_str(&json).unwrap();
             assert_eq!(f, back, "{json}");
         }
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null_like_real_serde_json() {
+        // NaN/inf have no JSON representation; emitting them as literal
+        // `NaN`/`inf` tokens would make the document unparseable. Real
+        // serde_json writes null — match it exactly, in both render modes
+        // and nested inside containers.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(to_string(&bad).unwrap(), "null");
+            assert_eq!(to_string_pretty(&bad).unwrap(), "null");
+        }
+        assert_eq!(to_string(&f32::NAN).unwrap(), "null");
+        assert_eq!(
+            to_string(&vec![1.5, f64::INFINITY, -2.0]).unwrap(),
+            "[1.5,null,-2]"
+        );
+        // The emitted document stays valid JSON: a lossy round-trip via
+        // Option<f64> maps the non-finite slot to None.
+        let back: Vec<Option<f64>> =
+            from_str(&to_string(&vec![1.5, f64::NAN]).unwrap()).unwrap();
+        assert_eq!(back, vec![Some(1.5), None]);
+    }
+
+    #[test]
+    fn overflowing_number_literals_are_rejected_not_saturated() {
+        // Regression: `"1e999".parse::<f64>()` saturates to +inf, so the
+        // parser used to materialize non-finite values from valid-looking
+        // JSON text (and re-serializing them as null corrupted
+        // round-trips). Real serde_json reports the literal out of range.
+        for text in ["1e999", "-1e999", "[1, 2e400]"] {
+            let err = from_str::<Vec<f64>>(text)
+                .or_else(|_| from_str::<f64>(text).map(|f| vec![f]))
+                .unwrap_err();
+            assert!(
+                err.to_string().contains("out of range"),
+                "{text}: {err}"
+            );
+        }
+        // …while every finite literal, however large, still parses.
+        let max: f64 = from_str("1.7976931348623157e308").unwrap();
+        assert_eq!(max, f64::MAX);
     }
 
     #[test]
