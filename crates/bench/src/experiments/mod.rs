@@ -23,6 +23,7 @@ mod phase_transition;
 mod potential_drop;
 mod queueing_stale;
 mod recovery;
+mod resilience_duel;
 mod rho_curves;
 mod serve_bench;
 mod table11_1;
@@ -79,6 +80,7 @@ static REGISTRY: &[&dyn Experiment] = &[
     &queueing_stale::QueueingStale,
     &layer_decay::LayerDecay,
     &serve_bench::ServeBench,
+    &resilience_duel::ResilienceDuel,
 ];
 
 /// All registered experiments, in `balloc list` order.

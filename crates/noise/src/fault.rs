@@ -1,0 +1,202 @@
+//! Deterministic load-report corruption — the paper's adversarial load
+//! settings packaged as a *fault model* for the serving layer.
+//!
+//! `g-Adv-Load` (Section 2) lets an adversary misreport every load by up
+//! to `±g`; the serving layer's `FaultyShard::CorruptedLoad` fault is
+//! exactly that adversary living inside one shard: every snapshot refresh
+//! that reads the shard gets loads perturbed within the `g` budget, so
+//! the decision layer above experiences `g-Adv-Comp`-style comparison
+//! corruption without knowing it. [`LoadCorruptor`] is the reusable,
+//! seeded implementation: corruption is a pure function of
+//! `(seed, refresh epoch, bin)`, so fault-injected runs replay
+//! bit-identically — the same discipline as every other noise model in
+//! this crate.
+
+use balloc_core::rng::{point_seed, SplitMix64};
+
+/// How a corrupted shard misreports its loads, always within `±g`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// Every bin under-reports by exactly `g` (clamped at zero) — the
+    /// load-attracting worst case: the corrupted shard always looks
+    /// emptier than it is, so Two-Choice keeps routing balls into it
+    /// (the serving analogue of [`PerturbStrategy::Reverse`]).
+    ///
+    /// [`PerturbStrategy::Reverse`]: crate::PerturbStrategy::Reverse
+    Understate,
+    /// Every bin reports with an independent uniform offset in
+    /// `[-g, +g]`, redrawn each refresh epoch — the myopic/random
+    /// adversary (the serving analogue of
+    /// [`PerturbStrategy::Uniform`](crate::PerturbStrategy::Uniform)).
+    Jitter,
+}
+
+impl std::fmt::Display for CorruptKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Understate => "understate",
+            Self::Jitter => "jitter",
+        })
+    }
+}
+
+/// A seeded `±g` load-report corruptor (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use balloc_noise::{CorruptKind, LoadCorruptor};
+///
+/// let corruptor = LoadCorruptor::new(4, CorruptKind::Understate, 7);
+/// let mut loads = [10u64, 2, 0];
+/// corruptor.corrupt(&mut loads, 0);
+/// assert_eq!(loads, [6, 0, 0]); // each under-reported by g, clamped at 0
+///
+/// // Jitter is a pure function of (seed, epoch, bin): same epoch, same lie.
+/// let jitter = LoadCorruptor::new(3, CorruptKind::Jitter, 11);
+/// let (mut a, mut b) = ([50u64; 8], [50u64; 8]);
+/// jitter.corrupt(&mut a, 2);
+/// jitter.corrupt(&mut b, 2);
+/// assert_eq!(a, b);
+/// assert!(a.iter().all(|&x| (47..=53).contains(&x)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadCorruptor {
+    g: u64,
+    kind: CorruptKind,
+    seed: u64,
+}
+
+impl LoadCorruptor {
+    /// Creates a corruptor with perturbation budget `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g == 0` (a zero-budget adversary corrupts nothing —
+    /// misconfiguration, not a fault model).
+    #[must_use]
+    pub fn new(g: u64, kind: CorruptKind, seed: u64) -> Self {
+        assert!(g > 0, "corruption budget g must be positive");
+        Self { g, kind, seed }
+    }
+
+    /// The perturbation budget.
+    #[must_use]
+    pub fn g(&self) -> u64 {
+        self.g
+    }
+
+    /// The corruption strategy.
+    #[must_use]
+    pub fn kind(&self) -> CorruptKind {
+        self.kind
+    }
+
+    /// Corrupts a slice of reported loads in place for refresh `epoch`.
+    ///
+    /// The offset applied to slot `i` is a pure function of
+    /// `(seed, epoch, i)` — no generator state is carried between calls,
+    /// so corrupting the same slice at the same epoch twice produces the
+    /// same lie, and fault corruption never perturbs any decision RNG
+    /// stream. Values saturate at the `u64` boundaries instead of
+    /// wrapping.
+    pub fn corrupt(&self, loads: &mut [u64], epoch: u64) {
+        match self.kind {
+            CorruptKind::Understate => {
+                for load in loads {
+                    *load = load.saturating_sub(self.g);
+                }
+            }
+            CorruptKind::Jitter => {
+                let epoch_seed = point_seed(self.seed, epoch);
+                let span = 2 * self.g + 1;
+                for (i, load) in loads.iter_mut().enumerate() {
+                    // One SplitMix64 avalanche per (epoch, bin): cheap,
+                    // stateless, and good enough for a ±g offset (modulo
+                    // bias at span ≪ 2^64 is negligible and — more to the
+                    // point — frozen into the determinism contract).
+                    let draw = SplitMix64::new(point_seed(epoch_seed, i as u64)).next_u64();
+                    let offset = draw % span;
+                    if offset >= self.g {
+                        *load = load.saturating_add(offset - self.g);
+                    } else {
+                        *load = load.saturating_sub(self.g - offset);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn understate_subtracts_exactly_g_with_clamp() {
+        let c = LoadCorruptor::new(3, CorruptKind::Understate, 0);
+        let mut loads = [0u64, 1, 3, 10];
+        c.corrupt(&mut loads, 5);
+        assert_eq!(loads, [0, 0, 0, 7]);
+    }
+
+    #[test]
+    fn jitter_stays_within_g_and_is_epoch_deterministic() {
+        let c = LoadCorruptor::new(5, CorruptKind::Jitter, 42);
+        let base = [100u64; 64];
+        let mut a = base;
+        let mut b = base;
+        c.corrupt(&mut a, 9);
+        c.corrupt(&mut b, 9);
+        assert_eq!(a, b, "same epoch must produce the same lie");
+        for (i, &x) in a.iter().enumerate() {
+            assert!(
+                (95..=105).contains(&x),
+                "slot {i} perturbed outside ±g: {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_changes_across_epochs_and_seeds() {
+        let c = LoadCorruptor::new(5, CorruptKind::Jitter, 42);
+        let mut a = [100u64; 64];
+        let mut b = [100u64; 64];
+        c.corrupt(&mut a, 1);
+        c.corrupt(&mut b, 2);
+        assert_ne!(a, b, "different epochs must redraw the offsets");
+        let other = LoadCorruptor::new(5, CorruptKind::Jitter, 43);
+        let mut d = [100u64; 64];
+        other.corrupt(&mut d, 1);
+        assert_ne!(a, d, "different seeds must produce different lies");
+    }
+
+    #[test]
+    fn jitter_hits_both_directions() {
+        let c = LoadCorruptor::new(4, CorruptKind::Jitter, 7);
+        let mut loads = [1_000u64; 256];
+        c.corrupt(&mut loads, 0);
+        assert!(loads.iter().any(|&x| x > 1_000), "some over-reports");
+        assert!(loads.iter().any(|&x| x < 1_000), "some under-reports");
+    }
+
+    #[test]
+    fn jitter_saturates_at_zero() {
+        let c = LoadCorruptor::new(10, CorruptKind::Jitter, 3);
+        let mut loads = [0u64; 128];
+        c.corrupt(&mut loads, 0);
+        assert!(loads.iter().all(|&x| x <= 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "g must be positive")]
+    fn zero_budget_rejected() {
+        let _ = LoadCorruptor::new(0, CorruptKind::Jitter, 0);
+    }
+
+    #[test]
+    fn kinds_display() {
+        assert_eq!(CorruptKind::Understate.to_string(), "understate");
+        assert_eq!(CorruptKind::Jitter.to_string(), "jitter");
+    }
+}

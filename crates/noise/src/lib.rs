@@ -15,6 +15,7 @@
 //! | [`GaussianLoadDecider`]        | `σ-Noisy-Load` — literal Gaussian perturbation model |
 //! | [`Delayed`]                    | `τ-Delay` — estimates from a sliding window of the last `τ` steps |
 //! | [`Batched`]                    | `b-Batch` — loads frozen at batch boundaries |
+//! | [`LoadCorruptor`]              | `g-Adv-Load` as a *fault model* — seeded per-shard `±g` report corruption for the serving layer |
 //!
 //! # Example: the phase transition in `g`
 //!
@@ -43,6 +44,7 @@ mod adv_comp;
 mod adv_load;
 mod batch;
 mod delay;
+mod fault;
 mod noisy_comp;
 mod query;
 pub mod rho;
@@ -53,6 +55,7 @@ pub use adv_comp::{AdvComp, GBounded, GMyopic};
 pub use adv_load::{AdvLoad, PerturbStrategy};
 pub use batch::Batched;
 pub use delay::{DelayStrategy, Delayed};
+pub use fault::{CorruptKind, LoadCorruptor};
 pub use noisy_comp::{GaussianLoadDecider, NoisyComp, SigmaNoisyLoad};
 pub use query::QueryComp;
 pub use rho::{BoundedRho, ConstantRho, GaussianRho, MyopicRho, RhoFunction};

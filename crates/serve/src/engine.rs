@@ -128,6 +128,11 @@ pub struct ServeOutcome {
     pub allocated: u64,
     /// Requests shed by the load-shed layer (buffer full / at capacity).
     pub shed: u64,
+    /// Sheds attributed to a full shard buffer — the per-cause split of
+    /// [`shed`](Self::shed) (the causes always sum to it).
+    pub shed_buffer_full: u64,
+    /// Sheds attributed to the in-flight limit.
+    pub shed_at_capacity: u64,
     /// Snapshot refreshes summed over workers.
     pub refreshes: u64,
     /// Wall-clock time of the closed loop.
@@ -145,7 +150,7 @@ impl ServeOutcome {
     fn measure(
         requests: u64,
         allocated: u64,
-        shed: u64,
+        shed: &ShedCounter,
         refreshes: u64,
         elapsed: Duration,
         state: &LoadState,
@@ -154,7 +159,9 @@ impl ServeOutcome {
         Self {
             requests,
             allocated,
-            shed,
+            shed: shed.total(),
+            shed_buffer_full: shed.buffer_full(),
+            shed_at_capacity: shed.at_capacity(),
             refreshes,
             elapsed,
             throughput_rps: if secs > 0.0 { requests as f64 / secs } else { 0.0 },
@@ -203,7 +210,7 @@ trait ApplySink {
 /// Shard index owning global bin `bin` under [`shard_ranges`]`(n, shards)`
 /// block partitioning: the unique `s` with `s·n/S ⩽ bin < (s+1)·n/S`.
 #[inline]
-fn shard_of(bin: usize, n: usize, shards: usize) -> usize {
+pub(crate) fn shard_of(bin: usize, n: usize, shards: usize) -> usize {
     ((bin + 1) * shards - 1) / n
 }
 
@@ -448,7 +455,7 @@ fn finish(
         allocated,
         "the drained authoritative state must hold every allocated ball"
     );
-    ServeOutcome::measure(cfg.requests, allocated, shed_total, refreshes, elapsed, state)
+    ServeOutcome::measure(cfg.requests, allocated, shed, refreshes, elapsed, state)
 }
 
 /// Runs the **deterministic replay** engine: the same per-worker decision
@@ -670,6 +677,26 @@ mod tests {
         cfg.inflight = Some(1);
         let outcome = run_concurrent(&cfg);
         assert_eq!(outcome.allocated + outcome.shed, outcome.requests);
+    }
+
+    #[test]
+    fn per_cause_shed_split_preserves_pr5_conservation() {
+        // Regression for the ShedCounter per-cause split: the original
+        // conservation assertions (allocated + shed == requests, the
+        // layer counter agrees with the per-worker tallies, the drained
+        // state holds every allocated ball — all re-asserted inside
+        // `finish`) must hold unchanged, and the new cause counters must
+        // sum to the old total.
+        let mut cfg = ServeConfig::demo(64, 2, 29);
+        cfg.workers = 4;
+        cfg.inflight = Some(1);
+        let outcome = run_concurrent(&cfg);
+        assert_eq!(outcome.allocated + outcome.shed, outcome.requests);
+        assert_eq!(
+            outcome.shed_buffer_full + outcome.shed_at_capacity,
+            outcome.shed,
+            "per-cause counters must sum to the total shed count"
+        );
     }
 
     #[test]

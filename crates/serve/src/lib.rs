@@ -39,6 +39,28 @@
 //!   [`MultiCounter`](balloc_multicounter::MultiCounter), turning the
 //!   engine into a stress harness for the counter.
 //!
+//! # Resilience middleware
+//!
+//! On top of the pressure layers sits a resilience suite, every layer a
+//! deterministic synchronous port of a classic (tower/Finagle) pattern
+//! onto the [`VClock`](balloc_sim::VClock) virtual clock:
+//!
+//! * [`Retry`] — budgeted retries of transient faults (token-bucket
+//!   budget, never retries pressure or an open breaker);
+//! * [`Hedge`] — duplicate a request once its first attempt outlives a
+//!   latency-percentile delay: the paper's "second choice", taken in
+//!   *time* instead of space;
+//! * [`Timeout`] — per-attempt deadlines with side-effect-free aborts;
+//! * [`RateLimit`] — clock-driven token-bucket admission control;
+//! * [`CircuitBreaker`] — closed/open/half-open over a rolling failure
+//!   window;
+//! * [`FaultPlan`]/[`FaultKind`] — the adversaries: slow, stalled, and
+//!   erroring shards, plus `g`-Adv-Comp load corruption via
+//!   [`LoadCorruptor`](balloc_noise::LoadCorruptor);
+//! * [`run_resilient`] — drives fault plan against policy and asserts
+//!   the four-way conservation ledger: every request ends exactly once —
+//!   allocated, shed, timed out, or broken.
+//!
 //! # Determinism contract
 //!
 //! [`run_replay`] decisions are a pure function of `(config, seed)`:
@@ -71,18 +93,34 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod breaker;
 mod buffer;
 mod engine;
+mod fault;
+mod hedge;
 mod limit;
+mod rate;
+mod resilience;
+mod retry;
 mod service;
 mod shard;
 mod shed;
 mod snapshot;
+mod timeout;
 
+pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker, CircuitBreakerLayer};
 pub use buffer::{Buffer, BufferController};
 pub use engine::{run_concurrent, run_replay, BackendKind, ReplayOutcome, ServeConfig, ServeOutcome};
+pub use fault::{FaultKind, FaultPlan, FaultStats, FaultyShard, ShardRole};
+pub use hedge::{Hedge, HedgeConfig, HedgeLayer, HedgeStats, LatencyHistogram};
 pub use limit::{InFlightLimit, InFlightLimitLayer, Permits};
+pub use rate::{RateLimit, RateLimitConfig, RateLimitLayer, RateStats};
+pub use resilience::{
+    run_resilient, Policy, ResilienceConfig, ResilienceOutcome, ResilienceReport,
+};
+pub use retry::{retryable, Retry, RetryBudget, RetryConfig, RetryLayer, RetryStats};
 pub use service::{decide, Layer, NoiseMode, Request, Response, ServeError, Service};
 pub use shard::{merge_states, shard_ranges, ShardRequest, ShardResponse, ShardService};
 pub use shed::{LoadShed, LoadShedLayer, ShedCounter};
 pub use snapshot::{SnapshotAllocator, Staleness};
+pub use timeout::{Timeout, TimeoutLayer, TimeoutStats};

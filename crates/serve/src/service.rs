@@ -73,6 +73,20 @@ pub enum ServeError {
     /// The backing worker is gone (its channel closed) — only reachable
     /// during shutdown.
     Closed,
+    /// The request's deadline expired before the backend completed (the
+    /// timeout layer's terminal outcome; the backend applied no side
+    /// effect — see `balloc_sim::VClock`).
+    TimedOut,
+    /// A circuit breaker is open and rejected the request without calling
+    /// the backend.
+    Broken,
+    /// A rate-limit layer's token bucket was empty (pressure, like
+    /// [`BufferFull`](Self::BufferFull): the load-shed layer converts it
+    /// into a counted shed).
+    RateLimited,
+    /// A fault-injected backend failed transiently after doing no work —
+    /// the retryable error class.
+    Faulted,
 }
 
 impl std::fmt::Display for ServeError {
@@ -82,6 +96,10 @@ impl std::fmt::Display for ServeError {
             Self::AtCapacity => "in-flight limit reached",
             Self::Shed => "request shed under load",
             Self::Closed => "service worker closed",
+            Self::TimedOut => "request deadline expired",
+            Self::Broken => "circuit breaker open",
+            Self::RateLimited => "rate limit exceeded",
+            Self::Faulted => "transient backend fault",
         })
     }
 }
@@ -101,6 +119,18 @@ pub trait Service<Req> {
     /// Returns a [`ServeError`] when the request is rejected (buffer
     /// full, at capacity, shed, or the backing worker is gone).
     fn call(&mut self, req: Req) -> Result<Self::Response, ServeError>;
+}
+
+/// Boxed services are services: the resilience engine and the
+/// conformance harness compose middleware stacks whose shape is chosen
+/// at runtime, which requires `Box<dyn Service<…>>` to slot into any
+/// generic middleware.
+impl<Req, S: Service<Req> + ?Sized> Service<Req> for Box<S> {
+    type Response = S::Response;
+
+    fn call(&mut self, req: Req) -> Result<Self::Response, ServeError> {
+        (**self).call(req)
+    }
 }
 
 /// Decorates a [`Service`] with additional behavior (the tower `Layer`
@@ -238,5 +268,22 @@ mod tests {
     fn serve_error_displays() {
         assert_eq!(ServeError::BufferFull.to_string(), "bounded buffer full");
         assert_eq!(ServeError::Shed.to_string(), "request shed under load");
+        assert_eq!(ServeError::TimedOut.to_string(), "request deadline expired");
+        assert_eq!(ServeError::Broken.to_string(), "circuit breaker open");
+        assert_eq!(ServeError::RateLimited.to_string(), "rate limit exceeded");
+        assert_eq!(ServeError::Faulted.to_string(), "transient backend fault");
+    }
+
+    #[test]
+    fn boxed_services_are_services() {
+        struct Echo;
+        impl Service<u8> for Echo {
+            type Response = u8;
+            fn call(&mut self, req: u8) -> Result<u8, ServeError> {
+                Ok(req)
+            }
+        }
+        let mut boxed: Box<dyn Service<u8, Response = u8>> = Box::new(Echo);
+        assert_eq!(boxed.call(9), Ok(9));
     }
 }

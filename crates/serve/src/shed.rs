@@ -1,24 +1,42 @@
 //! A load-shed layer — the tower-load-shed idiom, synchronously.
 //!
-//! Back-pressure from lower layers ([`ServeError::BufferFull`] from a
-//! bounded buffer, [`ServeError::AtCapacity`] from the in-flight limit)
-//! surfaces here and is converted into an explicit, *counted* drop:
-//! the caller sees [`ServeError::Shed`], the shared [`ShedCounter`]
-//! records it, and nothing ever blocks or queues unboundedly. Shedding is
-//! the correct overload response for an allocation service — a dropped
-//! request costs one retry upstream, while an unbounded queue costs every
-//! later request its latency.
+//! Pressure errors from lower layers ([`ServeError::BufferFull`] from a
+//! bounded buffer, [`ServeError::AtCapacity`] from the in-flight limit,
+//! [`ServeError::RateLimited`] from the rate limiter,
+//! [`ServeError::Faulted`] from a fault-injected backend once retries are
+//! exhausted) surface here and are converted into an explicit, *counted*
+//! drop: the caller sees [`ServeError::Shed`], the shared [`ShedCounter`]
+//! records it **per cause**, and nothing ever blocks or queues
+//! unboundedly. Shedding is the correct overload response for an
+//! allocation service — a dropped request costs one retry upstream, while
+//! an unbounded queue costs every later request its latency.
+//!
+//! The per-cause split exists because the resilience engine's
+//! conservation accounting needs to attribute every shed to the layer
+//! that produced the pressure (was the buffer full, or did the retry
+//! budget run dry against a faulty shard?). [`ShedCounter::total`] — and
+//! its historical alias [`ShedCounter::count`] — still report the single
+//! number the PR 5 conservation assertion checks.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::service::{Layer, ServeError, Service};
 
+/// Per-cause shed tallies (see [`ShedCounter`]).
+#[derive(Debug, Default)]
+struct Causes {
+    buffer_full: AtomicU64,
+    at_capacity: AtomicU64,
+    rate_limited: AtomicU64,
+    faulted: AtomicU64,
+}
+
 /// Shared counter of shed requests (one per service stack, cloned into
-/// every worker's [`LoadShed`] layer).
+/// every worker's [`LoadShed`] layer), attributed per pressure cause.
 #[derive(Debug, Clone, Default)]
 pub struct ShedCounter {
-    shed: Arc<AtomicU64>,
+    causes: Arc<Causes>,
 }
 
 impl ShedCounter {
@@ -28,14 +46,58 @@ impl ShedCounter {
         Self::default()
     }
 
-    /// Total requests shed so far.
+    /// Total requests shed so far, over all causes.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.buffer_full() + self.at_capacity() + self.rate_limited() + self.faulted()
+    }
+
+    /// Alias for [`total`](Self::total) — the pre-split name, kept so the
+    /// engine's PR 5 conservation assertion reads identically.
     #[must_use]
     pub fn count(&self) -> u64 {
-        self.shed.load(Ordering::Relaxed)
+        self.total()
+    }
+
+    /// Sheds caused by a full bounded buffer.
+    #[must_use]
+    pub fn buffer_full(&self) -> u64 {
+        self.causes.buffer_full.load(Ordering::Relaxed)
+    }
+
+    /// Sheds caused by the in-flight limit.
+    #[must_use]
+    pub fn at_capacity(&self) -> u64 {
+        self.causes.at_capacity.load(Ordering::Relaxed)
+    }
+
+    /// Sheds caused by an empty rate-limit token bucket.
+    #[must_use]
+    pub fn rate_limited(&self) -> u64 {
+        self.causes.rate_limited.load(Ordering::Relaxed)
+    }
+
+    /// Sheds caused by a backend fault that survived the retry layer.
+    #[must_use]
+    pub fn faulted(&self) -> u64 {
+        self.causes.faulted.load(Ordering::Relaxed)
+    }
+
+    /// Records a shed for the pressure error `cause`, if it is one.
+    fn record(&self, cause: ServeError) -> bool {
+        let slot = match cause {
+            ServeError::BufferFull => &self.causes.buffer_full,
+            ServeError::AtCapacity => &self.causes.at_capacity,
+            ServeError::RateLimited => &self.causes.rate_limited,
+            ServeError::Faulted => &self.causes.faulted,
+            _ => return false,
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+        true
     }
 }
 
-/// A [`Service`] converting lower-layer back-pressure into counted sheds.
+/// A [`Service`] converting lower-layer pressure into counted sheds.
 #[derive(Debug, Clone)]
 pub struct LoadShed<S> {
     inner: S,
@@ -63,10 +125,7 @@ impl<Req, S: Service<Req>> Service<Req> for LoadShed<S> {
 
     fn call(&mut self, req: Req) -> Result<Self::Response, ServeError> {
         match self.inner.call(req) {
-            Err(ServeError::BufferFull | ServeError::AtCapacity) => {
-                self.counter.shed.fetch_add(1, Ordering::Relaxed);
-                Err(ServeError::Shed)
-            }
+            Err(cause) if self.counter.record(cause) => Err(ServeError::Shed),
             other => other,
         }
     }
@@ -119,7 +178,12 @@ mod tests {
 
     #[test]
     fn back_pressure_becomes_counted_shed() {
-        for pressure in [ServeError::BufferFull, ServeError::AtCapacity] {
+        for pressure in [
+            ServeError::BufferFull,
+            ServeError::AtCapacity,
+            ServeError::RateLimited,
+            ServeError::Faulted,
+        ] {
             let counter = ShedCounter::new();
             let mut svc = LoadShedLayer::new(counter.clone()).layer(Flaky {
                 k: 3,
@@ -143,17 +207,40 @@ mod tests {
     }
 
     #[test]
-    fn non_pressure_errors_pass_through_uncounted() {
+    fn sheds_are_attributed_per_cause() {
         let counter = ShedCounter::new();
-        let mut svc = LoadShed::new(
-            Flaky {
-                k: 1,
-                seen: 0,
-                error: ServeError::Closed,
-            },
-            counter.clone(),
-        );
-        assert_eq!(svc.call(1), Err(ServeError::Closed));
-        assert_eq!(counter.count(), 0);
+        let by_cause = |error: ServeError, calls: u64| {
+            let mut svc = LoadShed::new(Flaky { k: 1, seen: 0, error }, counter.clone());
+            for i in 0..calls {
+                assert_eq!(svc.call(i), Err(ServeError::Shed));
+            }
+        };
+        by_cause(ServeError::BufferFull, 4);
+        by_cause(ServeError::AtCapacity, 3);
+        by_cause(ServeError::RateLimited, 2);
+        by_cause(ServeError::Faulted, 1);
+        assert_eq!(counter.buffer_full(), 4);
+        assert_eq!(counter.at_capacity(), 3);
+        assert_eq!(counter.rate_limited(), 2);
+        assert_eq!(counter.faulted(), 1);
+        assert_eq!(counter.total(), 10, "causes must sum to the total");
+        assert_eq!(counter.count(), counter.total(), "back-compat alias");
+    }
+
+    #[test]
+    fn non_pressure_errors_pass_through_uncounted() {
+        for terminal in [ServeError::Closed, ServeError::TimedOut, ServeError::Broken] {
+            let counter = ShedCounter::new();
+            let mut svc = LoadShed::new(
+                Flaky {
+                    k: 1,
+                    seen: 0,
+                    error: terminal,
+                },
+                counter.clone(),
+            );
+            assert_eq!(svc.call(1), Err(terminal));
+            assert_eq!(counter.count(), 0);
+        }
     }
 }

@@ -1,0 +1,114 @@
+//! Deterministic fault-injection regression tests.
+//!
+//! One pinned configuration per fault kind. Each run's
+//! [`ResilienceReport::digest`] is a pure function of `(config, seed)`,
+//! so the golden constants below pin the entire per-request outcome
+//! stream — any change to decision seeding, fault draws, layer ordering,
+//! or clock semantics shows up as a digest mismatch here before it shows
+//! up as a subtly different experiment table.
+//!
+//! If a change *intentionally* alters the stream (a new RNG domain, a
+//! reordered draw), re-pin the constants from the test failure output and
+//! say so in the commit.
+
+use balloc_noise::CorruptKind;
+use balloc_serve::{
+    run_resilient, FaultKind, FaultPlan, HedgeConfig, ResilienceConfig, RetryConfig,
+};
+
+/// The shared base: 64 bins, 4 shards, 2 workers, 512 requests, seed 2022.
+fn base() -> ResilienceConfig {
+    ResilienceConfig::demo(64, 4, 2022)
+}
+
+fn slow_cfg() -> ResilienceConfig {
+    let mut cfg = base();
+    cfg.faults = FaultPlan::clean(2).with(0, FaultKind::Slow { extra: 12 });
+    cfg.policy.hedge = Some(HedgeConfig::default());
+    cfg
+}
+
+fn stalled_cfg() -> ResilienceConfig {
+    let mut cfg = base();
+    cfg.faults = FaultPlan::clean(2).with(1, FaultKind::Stalled { per_mille: 150 });
+    cfg.policy.timeout = Some(16);
+    cfg.policy.retry = Some(RetryConfig::default());
+    cfg
+}
+
+fn erroring_cfg() -> ResilienceConfig {
+    let mut cfg = base();
+    cfg.faults = FaultPlan::clean(2).with(2, FaultKind::Erroring { per_mille: 250 });
+    cfg.policy.retry = Some(RetryConfig::default());
+    cfg
+}
+
+fn corrupted_cfg() -> ResilienceConfig {
+    let mut cfg = base();
+    cfg.faults = FaultPlan::clean(2).with(
+        3,
+        FaultKind::CorruptedLoad {
+            g: 4,
+            kind: CorruptKind::Understate,
+        },
+    );
+    cfg
+}
+
+/// `(name, config, golden digest)` for every fault kind.
+fn goldens() -> Vec<(&'static str, ResilienceConfig, u64)> {
+    vec![
+        ("slow", slow_cfg(), 0x96c8_bf27_4d0d_9a76),
+        ("stalled", stalled_cfg(), 0xdee7_090b_2521_9cb0),
+        ("erroring", erroring_cfg(), 0xdc06_47a1_b9ed_4416),
+        ("corrupted", corrupted_cfg(), 0x9b30_bdac_16a3_23b0),
+    ]
+}
+
+#[test]
+fn fault_digests_match_their_goldens() {
+    for (name, cfg, golden) in goldens() {
+        let report = run_resilient(&cfg);
+        assert_eq!(
+            report.digest, golden,
+            "{name}: digest {:#018x} diverged from golden {:#018x} — the \
+             per-request outcome stream changed",
+            report.digest, golden
+        );
+    }
+}
+
+#[test]
+fn fault_runs_replay_bit_identically() {
+    for (name, cfg, _) in goldens() {
+        let a = run_resilient(&cfg);
+        let b = run_resilient(&cfg);
+        assert_eq!(a, b, "{name}: two runs of one config must be identical");
+    }
+}
+
+#[test]
+fn fault_digests_depend_on_the_seed() {
+    for (name, mut cfg, _) in goldens() {
+        let a = run_resilient(&cfg);
+        cfg.seed ^= 1;
+        let b = run_resilient(&cfg);
+        assert_ne!(
+            a.digest, b.digest,
+            "{name}: flipping the seed must change the outcome stream"
+        );
+    }
+}
+
+#[test]
+fn fault_digests_are_pairwise_distinct() {
+    let digests: Vec<(&str, u64)> = goldens()
+        .into_iter()
+        .map(|(name, cfg, _)| (name, run_resilient(&cfg).digest))
+        .collect();
+    for (i, (name_a, a)) in digests.iter().enumerate() {
+        for (name_b, b) in &digests[i + 1..] {
+            assert_ne!(a, b, "{name_a} and {name_b} produced the same digest");
+        }
+    }
+}

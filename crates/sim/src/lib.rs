@@ -19,7 +19,10 @@
 //! * [`TextTable`] / [`Report`] / [`OutputSink`] — the single output
 //!   layer behind the `balloc` CLI: experiments emit tables and lines
 //!   through a sink, and the same emissions render as human text,
-//!   `--json`, or `--csv` without per-experiment code.
+//!   `--json`, or `--csv` without per-experiment code;
+//! * [`VClock`] — a shared deterministic virtual clock with a deadline
+//!   register, the time substrate of the serving layer's resilience
+//!   middleware (timeouts, hedged requests, cooldowns).
 //!
 //! # Seeding contract
 //!
@@ -68,6 +71,7 @@ pub mod initial;
 mod report;
 mod runner;
 mod sweep;
+mod vclock;
 
 pub use config::{Checkpoints, RunConfig};
 pub use distribution::GapDistribution;
@@ -77,3 +81,4 @@ pub use runner::{
     run_traced, GapTrace, NoObserver, RunResult, StepObserver, TracePoint,
 };
 pub use sweep::{series, sweep, sweep_traced, SweepPoint};
+pub use vclock::{DeadlineExpired, VClock};

@@ -1,0 +1,230 @@
+//! A shared deterministic virtual clock with a deadline register.
+//!
+//! The serving layer's resilience middleware (timeouts, hedged requests,
+//! cooldowns, rate windows) needs a notion of *time* that is a pure
+//! function of the configuration and seed — wall clocks would make every
+//! latency percentile and every circuit-breaker transition
+//! non-reproducible. [`VClock`] is that notion: a monotone tick counter
+//! shared by every layer of a service stack, advanced explicitly by the
+//! component that "spends" time (a fault-injected backend, the engine's
+//! inter-arrival spacing).
+//!
+//! The deadline register is what makes synchronous timeouts sound. A
+//! layer that wants to bound a call pushes a deadline, calls the inner
+//! service, and pops it. When the backend tries to advance the clock
+//! *past* the earliest pushed deadline, [`VClock::advance`] refuses: the
+//! clock stops exactly at the deadline, the would-be completion time is
+//! recorded (for hedging's regret accounting), and the backend gets
+//! [`DeadlineExpired`] — *before* it applies any side effect. A timed-out
+//! request therefore never half-happens, which is the substrate of the
+//! serve engine's conservation invariant (every request ends exactly
+//! once).
+//!
+//! # Examples
+//!
+//! ```
+//! use balloc_sim::VClock;
+//!
+//! let clock = VClock::new();
+//! clock.push_deadline(10);
+//! assert_eq!(clock.advance(7), Ok(7));     // within budget
+//! assert!(clock.advance(7).is_err());      // 7 + 7 > 10: expired
+//! assert_eq!(clock.now(), 10);             // clamped to the deadline
+//! assert_eq!(clock.last_overrun(), Some(14)); // would have finished at 14
+//! clock.pop_deadline();
+//! assert_eq!(clock.advance(7), Ok(17));    // unbounded again
+//! ```
+
+use std::sync::{Arc, Mutex};
+
+/// Error returned by [`VClock::advance`] when the requested advance would
+/// cross the earliest pushed deadline. The clock is left *at* the
+/// deadline and the would-be completion time is readable via
+/// [`VClock::last_overrun`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineExpired;
+
+impl std::fmt::Display for DeadlineExpired {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("virtual-clock advance crossed the active deadline")
+    }
+}
+
+impl std::error::Error for DeadlineExpired {}
+
+#[derive(Debug, Default)]
+struct ClockInner {
+    now: u64,
+    /// Stack of active deadlines (absolute ticks), pushed/popped in LIFO
+    /// order by nested timeout-like layers. `advance` honors the minimum.
+    deadlines: Vec<u64>,
+    /// The tick the last refused advance *would* have completed at.
+    last_overrun: Option<u64>,
+}
+
+/// A shared deterministic virtual clock (see the module docs).
+///
+/// Cheap to clone: clones share the same underlying counter and deadline
+/// register, so every layer of a service stack (and every worker of an
+/// engine) observes the same time.
+#[derive(Debug, Clone, Default)]
+pub struct VClock {
+    inner: Arc<Mutex<ClockInner>>,
+}
+
+impl VClock {
+    /// A fresh clock at tick 0 with no deadlines.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current tick.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.lock().now
+    }
+
+    /// Advances the clock by `ticks`, unless that would cross the
+    /// earliest pushed deadline.
+    ///
+    /// On success returns the new current tick. On refusal the clock is
+    /// clamped *to* the deadline (time passed up to the cutoff — the
+    /// caller waited that long before giving up), the would-be completion
+    /// tick is stored for [`last_overrun`](Self::last_overrun), and
+    /// [`DeadlineExpired`] is returned. Saturates at `u64::MAX` instead
+    /// of wrapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeadlineExpired`] when `now + ticks` exceeds the
+    /// earliest active deadline.
+    pub fn advance(&self, ticks: u64) -> Result<u64, DeadlineExpired> {
+        let mut inner = self.lock();
+        let target = inner.now.saturating_add(ticks);
+        if let Some(&cutoff) = inner.deadlines.iter().min() {
+            if target > cutoff {
+                inner.last_overrun = Some(target);
+                inner.now = cutoff;
+                return Err(DeadlineExpired);
+            }
+        }
+        inner.now = target;
+        Ok(target)
+    }
+
+    /// Pushes an absolute-tick deadline; [`advance`](Self::advance) will
+    /// refuse to cross the minimum of all pushed deadlines until the
+    /// matching [`pop_deadline`](Self::pop_deadline).
+    pub fn push_deadline(&self, at: u64) {
+        self.lock().deadlines.push(at);
+    }
+
+    /// Pops the most recently pushed deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no deadline is active (unbalanced push/pop indicates a
+    /// middleware bug).
+    pub fn pop_deadline(&self) {
+        self.lock()
+            .deadlines
+            .pop()
+            .expect("pop_deadline without a matching push_deadline");
+    }
+
+    /// The earliest active deadline, if any.
+    #[must_use]
+    pub fn deadline(&self) -> Option<u64> {
+        self.lock().deadlines.iter().min().copied()
+    }
+
+    /// The tick the last refused [`advance`](Self::advance) would have
+    /// completed at — the "how late would it have been" input to hedging
+    /// regret accounting. `None` until the first refusal.
+    #[must_use]
+    pub fn last_overrun(&self) -> Option<u64> {
+        self.lock().last_overrun
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ClockInner> {
+        self.inner.lock().expect("virtual clock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically_without_deadlines() {
+        let clock = VClock::new();
+        assert_eq!(clock.now(), 0);
+        assert_eq!(clock.advance(3), Ok(3));
+        assert_eq!(clock.advance(0), Ok(3));
+        assert_eq!(clock.advance(4), Ok(7));
+        assert_eq!(clock.now(), 7);
+        assert_eq!(clock.last_overrun(), None);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = VClock::new();
+        let b = a.clone();
+        a.advance(5).unwrap();
+        assert_eq!(b.now(), 5);
+        b.advance(2).unwrap();
+        assert_eq!(a.now(), 7);
+    }
+
+    #[test]
+    fn deadline_clamps_and_records_overrun() {
+        let clock = VClock::new();
+        clock.push_deadline(10);
+        assert_eq!(clock.advance(9), Ok(9));
+        assert_eq!(clock.advance(1), Ok(10), "landing exactly on the deadline is fine");
+        assert_eq!(clock.advance(1), Err(DeadlineExpired));
+        assert_eq!(clock.now(), 10, "clamped to the deadline, not beyond");
+        assert_eq!(clock.last_overrun(), Some(11));
+    }
+
+    #[test]
+    fn nested_deadlines_honor_the_minimum() {
+        let clock = VClock::new();
+        clock.push_deadline(100);
+        clock.push_deadline(5);
+        assert_eq!(clock.advance(7), Err(DeadlineExpired));
+        assert_eq!(clock.now(), 5);
+        clock.pop_deadline();
+        // The outer deadline still binds.
+        assert_eq!(clock.advance(200), Err(DeadlineExpired));
+        assert_eq!(clock.now(), 100);
+        clock.pop_deadline();
+        assert_eq!(clock.advance(200), Ok(300));
+    }
+
+    #[test]
+    fn min_not_lifo_governs_out_of_order_deadlines() {
+        // An inner layer may push a *later* deadline than the outer one;
+        // the earlier (outer) deadline must still be the cutoff.
+        let clock = VClock::new();
+        clock.push_deadline(5);
+        clock.push_deadline(100);
+        assert_eq!(clock.advance(50), Err(DeadlineExpired));
+        assert_eq!(clock.now(), 5);
+        assert_eq!(clock.deadline(), Some(5));
+    }
+
+    #[test]
+    fn saturates_instead_of_wrapping() {
+        let clock = VClock::new();
+        assert_eq!(clock.advance(u64::MAX), Ok(u64::MAX));
+        assert_eq!(clock.advance(u64::MAX), Ok(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "without a matching push")]
+    fn unbalanced_pop_panics() {
+        VClock::new().pop_deadline();
+    }
+}
