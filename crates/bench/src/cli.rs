@@ -33,6 +33,13 @@ enum Failure {
 /// returning the process exit code.
 #[must_use]
 pub fn run(argv: Vec<String>) -> i32 {
+    // `balloc lint` is the static-analysis pass, not an experiment —
+    // delegate to its driver (same binary CI runs as `balloc-lint`).
+    if argv.first().map(String::as_str) == Some("lint") {
+        let mut out = std::io::stdout();
+        let mut err = std::io::stderr();
+        return balloc_lint::cli::run(&argv[1..], &mut out, &mut err);
+    }
     match dispatch(argv) {
         Ok(()) => 0,
         Err(Failure::UsageTop(msg)) => {
@@ -110,7 +117,8 @@ fn usage() -> String {
          Usage:\n  \
          balloc list [--markdown | --ids]   list registered experiments\n  \
          balloc <experiment> [flags]        run one experiment (--help for its flags)\n  \
-         balloc all [flags]                 run every experiment in paper order\n\
+         balloc all [flags]                 run every experiment in paper order\n  \
+         balloc lint [--deny-all --json]    static analysis: determinism contracts\n\
          \n\
          Common flags: --n --balls-per-bin --runs --threads --seed --full --smoke\n\
          Output:       --json | --csv [--out <dir>]   (default: human text +\n\
@@ -319,6 +327,7 @@ mod tests {
         for exp in experiments::registry() {
             assert!(text.contains(exp.id()), "usage is missing {}", exp.id());
         }
+        assert!(text.contains("balloc lint"), "usage is missing the lint subcommand");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! experiment runs `g-Bounded` to equilibrium and reports, for a ladder of
 //! offsets, how many bins exceed each — the staircase the induction climbs.
 
+use balloc_core::rng::run_seed;
 use balloc_core::{LoadState, Process, Rng};
 use balloc_noise::GBounded;
 use balloc_sim::{OutputSink, Report, TextTable};
@@ -68,9 +69,10 @@ impl Experiment for LayerDecay {
         let offsets: Vec<f64> = (1..=8).map(|j| (j as u64 * g) as f64).collect();
 
         let mut counts = vec![0.0f64; offsets.len()];
+        let master = experiment_seed("layer_decay", args.seed);
         for r in 0..runs {
             let mut state = LoadState::new(n);
-            let mut rng = Rng::from_seed(experiment_seed("layer_decay", args.seed) + r as u64);
+            let mut rng = Rng::from_seed(run_seed(master, r as u64));
             GBounded::new(g).run(&mut state, args.m(), &mut rng);
             let avg = state.average();
             for (k, &z) in offsets.iter().enumerate() {

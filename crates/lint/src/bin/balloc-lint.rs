@@ -1,0 +1,8 @@
+//! Standalone entry point; the same driver backs `balloc lint`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = std::io::stdout();
+    let mut err = std::io::stderr();
+    std::process::exit(balloc_lint::cli::run(&argv, &mut out, &mut err));
+}

@@ -1,0 +1,93 @@
+//! Diagnostics: what a lint reports and how it renders.
+
+/// How severe a finding is by default. `--deny-all` promotes every warning
+/// to a denial at render time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported, but does not fail the run on its own.
+    Warn,
+    /// Fails the run (exit code 1).
+    Deny,
+}
+
+impl Severity {
+    /// The lowercase label used in rendered diagnostics.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+/// One finding, anchored to a file position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Lint code (`L001` … / `L000` for suppression problems).
+    pub code: &'static str,
+    /// Kebab-case lint name (`seed-arithmetic`).
+    pub name: &'static str,
+    /// Default severity (before any `--deny-all` promotion).
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (chars).
+    pub col: usize,
+    /// Human explanation, including the suggested fix.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// The severity after any `--deny-all` promotion.
+    #[must_use]
+    pub fn effective_severity(&self, deny_all: bool) -> Severity {
+        if deny_all {
+            Severity::Deny
+        } else {
+            self.severity
+        }
+    }
+
+    /// Renders the single-line form the golden corpus pins:
+    /// `path:line:col: level[CODE] name: message`.
+    #[must_use]
+    pub fn render(&self, deny_all: bool) -> String {
+        let severity = self.effective_severity(deny_all);
+        format!(
+            "{}:{}:{}: {}[{}] {}: {}",
+            self.path,
+            self.line,
+            self.col,
+            severity.label(),
+            self.code,
+            self.name,
+            self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_format_is_stable() {
+        let d = Diagnostic {
+            code: "L001",
+            name: "seed-arithmetic",
+            severity: Severity::Warn,
+            path: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 9,
+            message: "raw arithmetic on `seed`".into(),
+        };
+        assert_eq!(
+            d.render(false),
+            "crates/x/src/lib.rs:3:9: warn[L001] seed-arithmetic: raw arithmetic on `seed`"
+        );
+        assert!(d.render(true).contains("deny[L001]"));
+    }
+}

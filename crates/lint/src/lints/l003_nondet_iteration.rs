@@ -1,0 +1,81 @@
+//! L003 `nondet-iteration-in-digest` — digest code must not observe hash
+//! iteration order.
+//!
+//! Replay digests, golden outputs, and the `Report` layer promise
+//! byte-identical results across runs and machines. `HashMap`/`HashSet`
+//! iteration order depends on the hasher's per-process state in real
+//! `std`, so any hash collection touched on a digest, replay, or report
+//! path is a latent nondeterminism bug even if today's vendored stubs
+//! happen to iterate stably. Deterministic code paths use `BTreeMap`,
+//! `BTreeSet`, or sorted `Vec`s.
+//!
+//! Scope: any mention inside a function whose name contains `digest` or
+//! `replay`, and the whole of the files that implement the digest/report
+//! machinery.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::lints::{emit, Lint, LintInfo};
+use crate::source::FileContext;
+
+/// Files that *are* the digest/report machinery: hash collections are
+/// off-limits everywhere inside them.
+const CRITICAL_FILES: &[&str] = &["crates/sim/src/report.rs", "crates/serve/src/engine.rs"];
+
+/// Function-name fragments marking a digest/replay code path.
+const CRITICAL_FNS: &[&str] = &["digest", "replay"];
+
+pub struct NondetIteration;
+
+static INFO: LintInfo = LintInfo {
+    code: "L003",
+    name: "nondet-iteration-in-digest",
+    severity: Severity::Deny,
+    summary: "digest/replay/report paths must not use HashMap/HashSet (iteration order)",
+};
+
+impl Lint for NondetIteration {
+    fn info(&self) -> &'static LintInfo {
+        &INFO
+    }
+
+    fn check(&self, cx: &FileContext, out: &mut Vec<Diagnostic>) {
+        let critical_file = cx.path_matches(CRITICAL_FILES);
+        for k in 0..cx.sig.len() {
+            if cx.sig_kind(k) != Some(TokenKind::Ident) {
+                continue;
+            }
+            let Some(text) = cx.sig_text(k) else { continue };
+            if text != "HashMap" && text != "HashSet" {
+                continue;
+            }
+            let offset = cx.sig_start(k);
+            let in_critical_fn = cx.enclosing_fn(offset).is_some_and(|name| {
+                let lower = name.to_lowercase();
+                CRITICAL_FNS.iter().any(|frag| lower.contains(frag))
+            });
+            if critical_file || in_critical_fn {
+                let text = text.to_string();
+                let context = if critical_file {
+                    format!("digest-critical file `{}`", cx.path)
+                } else {
+                    format!(
+                        "digest/replay function `{}`",
+                        cx.enclosing_fn(offset).unwrap_or("?")
+                    )
+                };
+                emit(
+                    &INFO,
+                    cx,
+                    offset,
+                    format!(
+                        "`{text}` inside {context}: hash iteration order is not \
+                         deterministic across processes — use BTreeMap/BTreeSet or a \
+                         sorted Vec (docs/LINTS.md#l003)"
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}

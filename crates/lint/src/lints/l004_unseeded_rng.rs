@@ -1,0 +1,67 @@
+//! L004 `unseeded-rng-construction` — no hard-coded seeds in shipping code.
+//!
+//! Library and binary code must thread seeds from configuration
+//! (`--seed`, `ServeConfig::seed`, …) through the mixers; a literal
+//! `Rng::from_seed(42)` in a library means some code path is *not*
+//! controlled by the experiment seed, so reruns with a different `--seed`
+//! silently reuse the same stream. Tests, benches, examples, and doc
+//! examples pin literal seeds on purpose and are out of scope.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::lints::{emit, Lint, LintInfo};
+use crate::source::{FileContext, Role};
+
+pub struct UnseededRng;
+
+static INFO: LintInfo = LintInfo {
+    code: "L004",
+    name: "unseeded-rng-construction",
+    severity: Severity::Warn,
+    summary: "library code must not build Rng from literal seeds; thread --seed through mixers",
+};
+
+impl Lint for UnseededRng {
+    fn info(&self) -> &'static LintInfo {
+        &INFO
+    }
+
+    fn check(&self, cx: &FileContext, out: &mut Vec<Diagnostic>) {
+        if !matches!(cx.role, Role::Library | Role::Binary) {
+            return;
+        }
+        for k in 0..cx.sig.len() {
+            if cx.sig_kind(k) != Some(TokenKind::Ident) || cx.sig_text(k) != Some("Rng") {
+                continue;
+            }
+            if cx.sig_text(k + 1) != Some("::")
+                || cx.sig_text(k + 2) != Some("from_seed")
+                || cx.sig_text(k + 3) != Some("(")
+                || cx.sig_kind(k + 4) != Some(TokenKind::Num)
+                || cx.sig_text(k + 5) != Some(")")
+            {
+                continue;
+            }
+            let offset = cx.sig_start(k);
+            if cx.in_test_region(offset) {
+                continue;
+            }
+            let literal = cx.sig_text(k + 4).unwrap_or_default().to_string();
+            emit(
+                &INFO,
+                cx,
+                offset,
+                format!(
+                    "`Rng::from_seed({literal})` hard-codes a seed in {} code; accept a \
+                     seed parameter and derive it through the mixers so --seed controls \
+                     every stream (docs/LINTS.md#l004)",
+                    match cx.role {
+                        Role::Binary => "binary",
+                        _ => "library",
+                    }
+                ),
+                out,
+            );
+        }
+    }
+}

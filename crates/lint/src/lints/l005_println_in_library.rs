@@ -1,0 +1,66 @@
+//! L005 `println-in-library` — library output goes through `OutputSink`.
+//!
+//! PR 3 made every experiment emit through the `Report`/`OutputSink`
+//! layer, which is what gives the whole CLI `--json`/`--csv` for free and
+//! keeps golden-output tests meaningful. A `println!` in a library crate
+//! bypasses the sink: the text escapes JSON mode, never lands in the
+//! report, and breaks byte-identical capture. The sink implementation and
+//! the CLI driver are the two modules whose *job* is printing; they are
+//! allow-listed here rather than inline because the whole file qualifies.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::lints::{emit, Lint, LintInfo};
+use crate::source::{FileContext, Role};
+
+/// Modules whose purpose is writing to stdout/stderr.
+const ALLOWED_FILES: &[&str] = &["crates/sim/src/report.rs", "crates/bench/src/cli.rs"];
+
+/// Direct-printing macros.
+const MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
+
+pub struct PrintlnInLibrary;
+
+static INFO: LintInfo = LintInfo {
+    code: "L005",
+    name: "println-in-library",
+    severity: Severity::Warn,
+    summary: "library crates emit through OutputSink/Report, not println!/eprintln!",
+};
+
+impl Lint for PrintlnInLibrary {
+    fn info(&self) -> &'static LintInfo {
+        &INFO
+    }
+
+    fn check(&self, cx: &FileContext, out: &mut Vec<Diagnostic>) {
+        if cx.role != Role::Library || cx.path_matches(ALLOWED_FILES) {
+            return;
+        }
+        for k in 0..cx.sig.len() {
+            if cx.sig_kind(k) != Some(TokenKind::Ident) {
+                continue;
+            }
+            let Some(text) = cx.sig_text(k) else { continue };
+            if !MACROS.contains(&text) || cx.sig_text(k + 1) != Some("!") {
+                continue;
+            }
+            let offset = cx.sig_start(k);
+            if cx.in_test_region(offset) {
+                continue;
+            }
+            let text = text.to_string();
+            emit(
+                &INFO,
+                cx,
+                offset,
+                format!(
+                    "`{text}!` in library code bypasses the OutputSink/Report layer; emit \
+                     through a sink (or return the text) so --json/--csv and golden \
+                     captures stay complete (docs/LINTS.md#l005)"
+                ),
+                out,
+            );
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Workspace file discovery.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into: build output, vendored stubs
+/// (not ours to fix — and excluded by the issue contract), VCS state, and
+/// fixture corpora (which are *supposed* to fail the lints).
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures"];
+
+/// Collects every `.rs` file under `root`, as root-relative forward-slash
+/// paths, sorted for deterministic diagnostics order.
+///
+/// # Errors
+///
+/// Returns the first I/O error hit while reading directories.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    descend(root, root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn descend(root: &Path, dir: &Path, files: &mut Vec<String>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            descend(root, &path, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(relative(root, &path));
+        }
+    }
+    Ok(())
+}
+
+/// `root`-relative rendering of `path` with forward slashes.
+#[must_use]
+pub fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Ascends from `start` to the nearest directory whose `Cargo.toml`
+/// declares a `[workspace]` — the linting root.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace() {
+        let here = std::env::current_dir().unwrap();
+        let root = find_workspace_root(&here).expect("lint crate lives in the workspace");
+        assert!(root.join("Cargo.toml").exists());
+        let files = workspace_files(&root).unwrap();
+        assert!(files.iter().any(|f| f == "crates/core/src/rng.rs"));
+        assert!(files.iter().all(|f| !f.starts_with("vendor/")));
+        assert!(files.iter().all(|f| !f.contains("/fixtures/")));
+        assert!(files.iter().all(|f| !f.starts_with("target/")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+    }
+}

@@ -1,0 +1,23 @@
+// balloc-lint: role(library)
+//! Clean fixture: the contracts, followed.
+//!
+//! Seeds derive through the mixers, time is virtual, digests fold over
+//! ordered data, and nothing prints.
+
+use std::collections::BTreeMap;
+
+pub fn derived_streams(master_seed: u64, runs: u64) -> Vec<u64> {
+    (0..runs).map(|r| run_seed(master_seed, r)).collect()
+}
+
+pub fn ordered_digest(events: &[(u64, u64)]) -> u64 {
+    let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+    for &(bin, delta) in events {
+        *counts.entry(bin).or_insert(0) += delta;
+    }
+    let mut acc = 0u64;
+    for (bin, count) in &counts {
+        acc = acc.wrapping_mul(31).wrapping_add(bin ^ count);
+    }
+    acc
+}

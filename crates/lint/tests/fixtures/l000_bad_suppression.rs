@@ -1,0 +1,11 @@
+// balloc-lint: role(library)
+//! Known-bad fixture for L000 `bad-suppression`.
+//!
+//! Directives that do not parse, or that name unknown codes, are denials
+//! themselves — a suppression must never silently rot into a no-op.
+
+// balloc-lint: alow(L001)
+pub fn typoed_directive() {}
+
+// balloc-lint: allow(L999)
+pub fn unknown_code() {}

@@ -1,0 +1,23 @@
+// balloc-lint: role(library)
+//! Known-bad fixture for L001 `seed-arithmetic`.
+//!
+//! Every pattern below is a real bug class this workspace has shipped:
+//! the PR 2 sweep used `base + j` (correlated neighboring points) and the
+//! PR 5 serve path used `experiment_seed(tag) + t`. Raw arithmetic on a
+//! seed reuses most of the entropy between derived streams; the SplitMix64
+//! mixers in `balloc_core::rng` exist so derived seeds are independent.
+
+pub fn correlated_neighbors(seed: u64) -> u64 {
+    let a = seed + 1;
+    let b = 3 * seed;
+    let c = seed ^ 0x5eed;
+    a ^ b ^ c
+}
+
+pub fn mangled_derivation(master_seed: u64, t: u64) -> u64 {
+    experiment_seed(master_seed) + t
+}
+
+pub fn method_mangling(seed: u64) -> u64 {
+    seed.wrapping_add(1)
+}

@@ -1,0 +1,12 @@
+// balloc-lint: role(library)
+//! Known-bad fixture for L002 `wallclock-in-sim`.
+//!
+//! Simulated and served time advance through `balloc_sim::VClock`;
+//! reading the wall clock makes replay digests depend on the machine.
+
+pub fn timed_run() -> u64 {
+    let start = std::time::Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    let _stamp = std::time::SystemTime::now();
+    start.elapsed().as_nanos() as u64
+}

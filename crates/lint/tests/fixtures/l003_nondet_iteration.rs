@@ -1,0 +1,23 @@
+// balloc-lint: role(library)
+//! Known-bad fixture for L003 `nondet-iteration-in-digest`.
+//!
+//! Hash-collection iteration order is per-process in real `std`; a digest
+//! that folds over it is not a pure function of `(config, seed)`.
+
+use std::collections::HashMap;
+
+pub fn replay_digest(events: &[(u64, u64)]) -> u64 {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for &(bin, delta) in events {
+        *counts.entry(bin).or_insert(0) += delta;
+    }
+    let mut acc = 0u64;
+    for (bin, count) in &counts {
+        acc = acc.wrapping_mul(31).wrapping_add(bin ^ count);
+    }
+    acc
+}
+
+pub fn unrelated_helper(n: usize) -> usize {
+    n * 2
+}

@@ -1,0 +1,9 @@
+// balloc-lint: role(library)
+//! Known-bad fixture for L004 `unseeded-rng-construction`.
+//!
+//! A literal seed in library code means `--seed` does not control this
+//! stream: reruns silently repeat it.
+
+pub fn default_stream() -> Rng {
+    Rng::from_seed(42)
+}

@@ -1,0 +1,10 @@
+// balloc-lint: role(library)
+//! Known-bad fixture for L005 `println-in-library`.
+//!
+//! Library output goes through `OutputSink` so `--json`/`--csv` and
+//! golden captures stay complete.
+
+pub fn report_progress(step: u64) {
+    println!("step {step}");
+    eprintln!("warning: step {step} was slow");
+}

@@ -1,0 +1,16 @@
+// balloc-lint: role(library)
+//! Suppression fixture: real violations, each with a justified allow.
+//!
+//! Expected to produce zero diagnostics but a non-zero suppressed count —
+//! this pins the trailing-comment and standalone-comment scoping rules.
+
+pub fn perturbed(seed: u64) -> u64 {
+    seed ^ 1 // balloc-lint: allow(L001): fixture — trailing-comment scope
+}
+
+pub fn stamped() -> u64 {
+    // balloc-lint: allow(L002): fixture — standalone-comment scope, and
+    // the justification wraps onto a continuation line that is skipped.
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos() as u64
+}

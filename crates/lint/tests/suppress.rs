@@ -1,0 +1,76 @@
+//! Suppression scoping at the whole-pipeline level.
+//!
+//! The unit tests in `source.rs` pin `is_suppressed`; these drive
+//! `lint_source` end to end so the scoping rules are checked against the
+//! diagnostics that actually survive.
+
+use balloc_lint::lint_source;
+
+const PATH: &str = "crates/x/src/lib.rs";
+
+#[test]
+fn trailing_allow_covers_only_its_line() {
+    let src = "\
+fn f(seed: u64) -> u64 {
+    let a = seed + 1; // balloc-lint: allow(L001): first line only
+    let b = seed + 2;
+    a ^ b
+}
+";
+    let out = lint_source(PATH, src);
+    assert_eq!(out.suppressed, 1);
+    assert_eq!(out.diagnostics.len(), 1);
+    assert_eq!(out.diagnostics[0].line, 3);
+}
+
+#[test]
+fn standalone_allow_covers_only_the_next_code_line() {
+    let src = "\
+fn f(seed: u64) -> u64 {
+    // balloc-lint: allow(L001): next line only
+    let a = seed + 1;
+    let b = seed + 2;
+    a ^ b
+}
+";
+    let out = lint_source(PATH, src);
+    assert_eq!(out.suppressed, 1);
+    assert_eq!(out.diagnostics.len(), 1);
+    assert_eq!(out.diagnostics[0].line, 4);
+}
+
+#[test]
+fn allow_does_not_cover_other_codes() {
+    let src = "fn f(seed: u64) -> u64 { seed + 1 } // balloc-lint: allow(L002): wrong code\n";
+    let out = lint_source(PATH, src);
+    assert_eq!(out.suppressed, 0);
+    assert_eq!(out.diagnostics.len(), 1);
+    assert_eq!(out.diagnostics[0].code, "L001");
+}
+
+#[test]
+fn allow_file_covers_the_whole_file_for_named_codes_only() {
+    let src = "\
+// balloc-lint: allow-file(L001): demo
+fn f(seed: u64) -> u64 {
+    let t0 = std::time::Instant::now();
+    let a = seed + 1;
+    a ^ t0.elapsed().as_nanos() as u64
+}
+";
+    let out = lint_source(PATH, src);
+    assert_eq!(out.suppressed, 1, "the L001 finding is absorbed");
+    assert_eq!(out.diagnostics.len(), 1, "the L002 finding survives");
+    assert_eq!(out.diagnostics[0].code, "L002");
+}
+
+#[test]
+fn suppressing_l000_itself_is_not_possible_by_typo() {
+    // A malformed directive cannot be silenced by the very comment that
+    // is malformed; the L000 lands on the directive's own line and only a
+    // *valid* allow(L000) elsewhere could absorb it.
+    let src = "// balloc-lint: alow(L001)\nfn f() {}\n";
+    let out = lint_source(PATH, src);
+    assert_eq!(out.diagnostics.len(), 1);
+    assert_eq!(out.diagnostics[0].code, "L000");
+}

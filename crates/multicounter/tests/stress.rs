@@ -15,6 +15,7 @@
 //! the same traffic shape through the sharded service stack, so the two
 //! suites exercise the same contract at both API levels.
 
+use balloc_core::rng::run_seed;
 use balloc_core::Rng;
 use balloc_multicounter::MultiCounter;
 
@@ -22,7 +23,7 @@ use balloc_multicounter::MultiCounter;
 /// cached-handle increments, and snapshot-decided bumps, interleaved.
 fn hammer(counter: &MultiCounter, ops: usize, seed: u64) -> u64 {
     let mut rng = Rng::from_seed(seed);
-    let mut handle = counter.cached_handle(64, seed ^ 0x5eed);
+    let mut handle = counter.cached_handle(64, run_seed(seed, 1));
     let w = counter.width();
     let mut issued = 0u64;
     for i in 0..ops {

@@ -211,6 +211,7 @@ impl Process for Batched {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use balloc_core::rng::run_seed;
     use balloc_core::TwoChoice;
     use balloc_processes::OneChoice;
 
@@ -243,22 +244,22 @@ mod tests {
         // average maximum load across seeds.
         let n = 500;
         let b = 5_000u64; // one batch covering all m balls
-        let seeds = 20;
+        let runs = 20;
         let mut batch_max = 0.0;
         let mut one_max = 0.0;
-        for seed in 0..seeds {
+        for run in 0..runs {
             let mut s1 = LoadState::new(n);
-            let mut rng = Rng::from_seed(seed);
+            let mut rng = Rng::from_seed(run_seed(run, 0));
             Batched::new(b).run(&mut s1, b, &mut rng);
             batch_max += s1.max_load() as f64;
 
             let mut s2 = LoadState::new(n);
-            let mut rng = Rng::from_seed(seed + 1000);
+            let mut rng = Rng::from_seed(run_seed(run, 1));
             OneChoice::new().run(&mut s2, b, &mut rng);
             one_max += s2.max_load() as f64;
         }
-        batch_max /= seeds as f64;
-        one_max /= seeds as f64;
+        batch_max /= runs as f64;
+        one_max /= runs as f64;
         assert!(
             (batch_max - one_max).abs() < 2.5,
             "first-batch max {batch_max} should match one-choice max {one_max}"

@@ -204,6 +204,7 @@ mod tests {
     use super::*;
     use crate::rho::{BoundedRho, ConstantRho, MyopicRho};
     use crate::{AdvComp, GMyopic, ReverseAll};
+    use balloc_core::rng::run_seed;
     use balloc_processes::OneChoice;
 
     #[test]
@@ -274,7 +275,7 @@ mod tests {
         let mut gaps = [0.0f64; 2];
         for (k, seed) in [(0usize, 42u64), (1, 42)] {
             let mut state = LoadState::new(n);
-            let mut rng = Rng::from_seed(seed + k as u64 * 1000);
+            let mut rng = Rng::from_seed(run_seed(seed, k as u64));
             if k == 0 {
                 TwoChoice::new(NoisyComp::new(MyopicRho::new(g))).run(&mut state, m, &mut rng);
             } else {

@@ -3,6 +3,7 @@
 //! Γ/Λ/V orderings), checked numerically on both crafted and evolved
 //! states.
 
+use balloc_core::rng::run_seed;
 use balloc_core::{LoadState, Process, Rng, TwoChoice};
 use balloc_potentials::{
     AbsoluteValue, HyperbolicCosine, OffsetHyperbolicCosine, Potential, Quadratic,
@@ -70,7 +71,7 @@ fn lemma_5_5_quadratic_bounded_by_lambda_scale() {
     // equilibrium states.
     let g = 2.0f64;
     for seed in 0..5u64 {
-        let state = evolved(256, 30_000, 10 + seed);
+        let state = evolved(256, 30_000, run_seed(10, seed));
         let n = state.n() as f64;
         let lambda = OffsetHyperbolicCosine::new(1.0 / 18.0, 730.0 * g).value(&state);
         // Equilibrium two-choice states easily satisfy Λ ⩽ 3n.

@@ -281,10 +281,13 @@ mod tests {
         let _ = handle.cast(1);
         // The panic tears the receiver down shortly; poll until the
         // channel reports it.
+        // balloc-lint: allow(L002): watchdog deadline for a real spawned
+        // thread — bounds the poll loop, decides nothing about allocation.
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
         loop {
             match handle.cast(2) {
                 Err(ServeError::Closed) => break,
+                // balloc-lint: allow(L002): same watchdog, see above.
                 _ if std::time::Instant::now() > deadline => {
                     panic!("worker never closed the channel")
                 }

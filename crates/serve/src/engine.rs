@@ -421,6 +421,8 @@ fn closed_loop<K>(
 where
     K: ApplySink + Clone + Sync,
 {
+    // balloc-lint: allow(L002): real-throughput measurement only — the
+    // elapsed Duration is reported, never fed into allocation decisions.
     let start = Instant::now();
     let stats = workpool::par_map_indexed(cfg.workers, cfg.workers, |w| {
         worker_loop(cfg, w, sink.clone(), clock.clone(), permits, shed)
@@ -531,6 +533,8 @@ fn replay_loop<K: ApplySink>(
         .map(|w| SnapshotAllocator::new(cfg.n, cfg.staleness, point_seed(cfg.seed, w as u64)))
         .collect();
     let mut digest = Fnv1a::new();
+    // balloc-lint: allow(L002): wall-clock timing of the replay itself;
+    // the decision digest above never reads it.
     let start = Instant::now();
     for t in 0..cfg.requests {
         let w = (t % cfg.workers as u64) as usize;

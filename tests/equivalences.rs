@@ -2,6 +2,7 @@
 //! right baseline at its trivial parameter, exactly as the paper states in
 //! Section 2.
 
+use noisy_balance::core::rng::run_seed;
 use noisy_balance::core::{LoadState, PerfectDecider, Process, Rng, TieBreak, TwoChoice};
 use noisy_balance::noise::{
     AdvComp, AdvLoad, Batched, ConstantRho, DelayStrategy, Delayed, GBounded, NoisyComp,
@@ -99,7 +100,7 @@ fn rho_half_noisy_comp_behaves_like_one_choice() {
         let mut total = 0.0;
         for seed in 0..runs {
             let mut state = LoadState::new(N);
-            let mut rng = Rng::from_seed(100 + seed);
+            let mut rng = Rng::from_seed(run_seed(100, seed));
             factory().run(&mut state, M, &mut rng);
             total += state.gap();
         }

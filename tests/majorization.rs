@@ -10,6 +10,7 @@
 use noisy_balance::core::probability::{
     majorizes, one_choice_vector, one_plus_beta_vector, two_choice_vector,
 };
+use noisy_balance::core::rng::run_seed;
 use noisy_balance::core::{LoadState, Process, Rng, TwoChoice};
 use noisy_balance::noise::{GBounded, GMyopic};
 use noisy_balance::processes::{OneChoice, OnePlusBeta};
@@ -25,7 +26,7 @@ fn mean_sorted_loads(
     let mut acc = vec![0.0f64; n];
     for r in 0..runs {
         let mut state = LoadState::new(n);
-        let mut rng = Rng::from_seed(seed0 + r);
+        let mut rng = Rng::from_seed(run_seed(seed0, r));
         factory().run(&mut state, m, &mut rng);
         for (i, &x) in state.sorted_loads_desc().iter().enumerate() {
             acc[i] += x as f64;

@@ -6,6 +6,7 @@
 //! *identical decisions* (or identical distributions) to the simulated
 //! process.
 
+use noisy_balance::core::rng::run_seed;
 use noisy_balance::core::{Decider, LoadState, Process, Rng, TwoChoice};
 use noisy_balance::noise::{
     AdvComp, AdvLoad, Batched, BoundedRho, ConstantRho, CorrectAll, DelayStrategy, Delayed,
@@ -159,12 +160,12 @@ fn tau_delay_simulates_b_batch_statistically() {
     let mut delay_total = 0.0;
     for seed in 0..runs {
         let mut a = LoadState::new(n);
-        let mut rng = Rng::from_seed(100 + seed);
+        let mut rng = Rng::from_seed(run_seed(100, seed));
         Batched::new(tau).run(&mut a, m, &mut rng);
         batch_total += a.gap();
 
         let mut b = LoadState::new(n);
-        let mut rng = Rng::from_seed(200 + seed);
+        let mut rng = Rng::from_seed(run_seed(200, seed));
         Delayed::new(tau, DelayStrategy::Stalest).run(&mut b, m, &mut rng);
         delay_total += b.gap();
     }
