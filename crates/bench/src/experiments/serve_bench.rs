@@ -21,7 +21,8 @@
 
 use balloc_analysis::bounds::batch_gap;
 use balloc_serve::{
-    run_concurrent, run_replay, BackendKind, NoiseMode, Request, ServeConfig, Staleness,
+    run_concurrent, run_replay, BackendKind, NoiseMode, Request, ServeConfig, SnapshotPath,
+    Staleness,
 };
 use balloc_sim::{OutputSink, Report, TextTable};
 use serde::Serialize;
@@ -62,11 +63,29 @@ struct ServeBenchArtifact {
     d: usize,
     sigma: f64,
     backend: String,
+    snapshot: String,
     buffer_capacity: usize,
     inflight: Option<usize>,
     requests_per_cell: u64,
+    /// Hardware threads the host exposed to this run.
+    cpus: usize,
+    /// Present iff the host exposes a single hardware thread: the
+    /// concurrent table then measures overhead, not parallel speedup.
+    cpu_caveat: Option<String>,
     concurrent: Vec<ConcurrentCell>,
     replay: Vec<ReplayCell>,
+}
+
+/// The honesty note for single-CPU hosts. With one hardware thread the
+/// concurrent engine's threads time-slice instead of running in parallel,
+/// so throughput numbers quantify scheduling and synchronization overhead
+/// only — any reader comparing shard counts on such a host must know that.
+fn single_core_caveat(cpus: usize) -> Option<String> {
+    (cpus == 1).then(|| {
+        "overhead-only: this host exposes 1 hardware thread, so concurrent throughput \
+         measures scheduling/synchronization overhead, not parallel speedup"
+            .to_string()
+    })
 }
 
 /// `balloc serve_bench` — see the module docs.
@@ -158,6 +177,13 @@ impl Experiment for ServeBench {
                 default: "off",
                 help: "deterministic replay only (byte-stable output; no throughput)",
             },
+            FlagSpec {
+                name: "--striped",
+                kind: FlagKind::Switch,
+                positive: false,
+                default: "off",
+                help: "refresh snapshots from the lock-free striped mirror (sharded backend)",
+            },
         ]
     }
 
@@ -181,6 +207,11 @@ impl Experiment for ServeBench {
             BackendKind::Sharded
         };
         let replay_only = args.extras.switch("--replay");
+        let snapshot = if args.extras.switch("--striped") {
+            SnapshotPath::Striped
+        } else {
+            SnapshotPath::Buffered
+        };
 
         let request = Request {
             d,
@@ -209,6 +240,7 @@ impl Experiment for ServeBench {
             buffer_capacity: buffer,
             inflight,
             backend,
+            snapshot,
             // Deliberately *not* folding the shard count into the tag:
             // decisions only ever read snapshots of the global vector, so
             // at a fixed seed the replay digest must be identical for
@@ -300,6 +332,14 @@ impl Experiment for ServeBench {
             sink.table("concurrent", table);
         }
 
+        let cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let cpu_caveat = single_core_caveat(cpus);
+        if !replay_only {
+            if let Some(caveat) = &cpu_caveat {
+                sink.line(caveat);
+            }
+        }
+
         sink.table("replay", replay_table);
         sink.line(
             "expected: gap grows with staleness along the b-Batch law; replay digests \
@@ -313,9 +353,12 @@ impl Experiment for ServeBench {
             d,
             sigma,
             backend: format!("{backend:?}"),
+            snapshot: format!("{snapshot:?}"),
             buffer_capacity: buffer,
             inflight,
             requests_per_cell: args.m(),
+            cpus,
+            cpu_caveat,
             concurrent,
             replay,
         };
@@ -347,5 +390,22 @@ mod tests {
     fn b_global_folds_workers_into_batches_only() {
         assert_eq!(b_global(Staleness::Batch { b: 8 }, 4), 32);
         assert_eq!(b_global(Staleness::Delay { tau: 8 }, 4), 8);
+    }
+
+    #[test]
+    fn single_core_caveat_is_byte_pinned() {
+        // Golden: the caveat is part of the JSON artifact surface, so its
+        // exact wording is pinned — downstream tooling greps for it.
+        assert_eq!(
+            single_core_caveat(1).as_deref(),
+            Some(
+                "overhead-only: this host exposes 1 hardware thread, so concurrent \
+                 throughput measures scheduling/synchronization overhead, not parallel \
+                 speedup"
+            )
+        );
+        for cpus in [2usize, 4, 64] {
+            assert_eq!(single_core_caveat(cpus), None, "cpus = {cpus}");
+        }
     }
 }

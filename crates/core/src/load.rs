@@ -535,6 +535,56 @@ impl LoadBatch<'_> {
         self.state.loads[i] = old_load + 1;
         self.state.balls += 1;
     }
+
+    /// Places one ball into bin `i` like [`place_with`](Self::place_with)
+    /// but **without** advancing the ball counter; the caller must settle
+    /// the count with [`credit_balls`](Self::credit_balls) before anything
+    /// reads `balls` or `average`.
+    ///
+    /// The per-ball `balls += 1` is a read-modify-write of one memory cell
+    /// repeated every iteration — a loop-carried store-forward chain of
+    /// ~5 cycles/ball that dominates the two-sample hot loops (measured in
+    /// docs/PERFORMANCE.md). Kernels driving deciders that promise never
+    /// to read the totals ([`Decider::totals_free`](crate::Decider::totals_free))
+    /// place uncounted and credit once per lane block instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`. Debug builds additionally assert that
+    /// `old_load` matches the stored load.
+    #[inline]
+    pub fn place_with_uncounted(&mut self, i: usize, old_load: u64) {
+        debug_assert_eq!(self.state.loads[i], old_load, "stale load handed to place_with");
+        self.state.loads[i] = old_load + 1;
+    }
+
+    /// Settles the ball counter for `count` prior
+    /// [`place_with_uncounted`](Self::place_with_uncounted) calls.
+    #[inline]
+    pub fn credit_balls(&mut self, count: u64) {
+        self.state.balls += count;
+    }
+
+    /// Places one ball into each of `bins` (repeats allowed), deferring
+    /// aggregate maintenance — the lane engine's group absorb.
+    ///
+    /// Equivalent to `bins.len()` successive [`place`](Self::place) calls,
+    /// but the increments carry no loop-carried dependency through the
+    /// `balls` counter and vectorize/overlap freely, which matters for
+    /// kernels (e.g. `One-Choice`) whose placements within a lane group are
+    /// load-independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if any bin index is out of range; release
+    /// builds panic via the slice index.
+    #[inline]
+    pub fn place_group(&mut self, bins: &[usize]) {
+        for &i in bins {
+            self.state.loads[i] += 1;
+        }
+        self.state.balls += bins.len() as u64;
+    }
 }
 
 impl Drop for LoadBatch<'_> {

@@ -1,0 +1,104 @@
+//! L006 `unversioned-seed-scheme` — every `LaneRng` names its scheme.
+//!
+//! The lane engine's stream layout is versioned: `SeedScheme::V1` is the
+//! frozen serial stream, `SeedScheme::V2` derives per-lane streams through
+//! the blessed mixers, and any future widening lands as `V3`. A `LaneRng`
+//! built from an opaque value — a variable threaded from somewhere else, a
+//! `Default::default()` — hides which layout produced an artifact, so the
+//! run cannot be re-derived from its config. Construction sites must pass
+//! a literal `SeedScheme::` variant as the first argument; code that
+//! genuinely needs to abstract over schemes wraps the call and suppresses
+//! with a justification. This lint binds every role (tests and benches
+//! publish pinned streams too) and denies by default.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::lints::{emit, Lint, LintInfo};
+use crate::source::FileContext;
+
+pub struct UnversionedSeedScheme;
+
+static INFO: LintInfo = LintInfo {
+    code: "L006",
+    name: "unversioned-seed-scheme",
+    severity: Severity::Deny,
+    summary: "LaneRng construction must name a literal SeedScheme:: variant as its first argument",
+};
+
+impl Lint for UnversionedSeedScheme {
+    fn info(&self) -> &'static LintInfo {
+        &INFO
+    }
+
+    fn check(&self, cx: &FileContext, out: &mut Vec<Diagnostic>) {
+        for k in 0..cx.sig.len() {
+            if cx.sig_kind(k) != Some(TokenKind::Ident) || cx.sig_text(k) != Some("LaneRng") {
+                continue;
+            }
+            // Skip an optional turbofish: `LaneRng::<K>` / `LaneRng::<8>`.
+            let mut i = k + 1;
+            if cx.sig_text(i) == Some("::") && cx.sig_text(i + 1) == Some("<") {
+                let mut depth = 1i32;
+                i += 2;
+                while depth > 0 {
+                    match cx.sig_text(i) {
+                        Some("<") => depth += 1,
+                        Some(">") => depth -= 1,
+                        Some(">>") => depth -= 2,
+                        None => break,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                if depth > 0 {
+                    continue;
+                }
+            }
+            if cx.sig_text(i) != Some("::")
+                || cx.sig_text(i + 1) != Some("new")
+                || cx.sig_text(i + 2) != Some("(")
+            {
+                continue;
+            }
+            // The first argument (tokens up to the first depth-1 `,` or the
+            // closing `)`) must spell a `SeedScheme::<Variant>` path —
+            // qualified prefixes (`rng::SeedScheme::V2`) are fine.
+            let open = i + 2;
+            let Some(close) = cx.matching_paren(open) else {
+                continue;
+            };
+            let mut first_arg_end = close;
+            let mut depth = 1i32;
+            for j in open + 1..close {
+                match cx.sig_text(j) {
+                    Some("(" | "[" | "{") => depth += 1,
+                    Some(")" | "]" | "}") => depth -= 1,
+                    Some(",") if depth == 1 => {
+                        first_arg_end = j;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            let names_scheme = (open + 1..first_arg_end).any(|j| {
+                cx.sig_text(j) == Some("SeedScheme")
+                    && cx.sig_text(j + 1) == Some("::")
+                    && cx.sig_kind(j + 2) == Some(TokenKind::Ident)
+            });
+            if names_scheme {
+                continue;
+            }
+            emit(
+                &INFO,
+                cx,
+                cx.sig_start(k),
+                "`LaneRng::new` must take a literal `SeedScheme::` variant (V1 = frozen \
+                 serial stream, V2 = per-lane derivation) as its first argument so every \
+                 artifact records which stream layout produced it; wrap and suppress if \
+                 you must abstract over schemes (docs/LINTS.md#l006)"
+                    .to_string(),
+                out,
+            );
+        }
+    }
+}

@@ -9,6 +9,7 @@ mod l002_wallclock_in_sim;
 mod l003_nondet_iteration;
 mod l004_unseeded_rng;
 mod l005_println_in_library;
+mod l006_unversioned_seed_scheme;
 
 /// Static description of one lint.
 #[derive(Debug, Clone, Copy)]
@@ -52,6 +53,7 @@ pub fn registry() -> &'static [&'static dyn Lint] {
         &l003_nondet_iteration::NondetIteration,
         &l004_unseeded_rng::UnseededRng,
         &l005_println_in_library::PrintlnInLibrary,
+        &l006_unversioned_seed_scheme::UnversionedSeedScheme,
     ];
     REGISTRY
 }

@@ -1,0 +1,24 @@
+// balloc-lint: role(library)
+//! Known-bad fixture for L006 `unversioned-seed-scheme`.
+//!
+//! A `LaneRng` built from an opaque scheme value hides which versioned
+//! stream layout produced the run, so its artifacts cannot be re-derived
+//! from the recorded config.
+
+pub fn lanes_from(scheme: SeedScheme, seed: u64) -> LaneRng<8> {
+    LaneRng::<8>::new(scheme, seed)
+}
+
+pub fn lanes_defaulted(seed: u64) -> LaneRng<4> {
+    LaneRng::new(Default::default(), seed)
+}
+
+pub fn lanes_v2(seed: u64) -> LaneRng<8> {
+    // Explicitly versioned: must NOT fire.
+    LaneRng::<8>::new(SeedScheme::V2, seed)
+}
+
+pub fn lanes_qualified(seed: u64) -> LaneRng<4> {
+    // A qualified path still names the variant: must NOT fire.
+    LaneRng::new(rng::SeedScheme::V1, seed)
+}

@@ -32,6 +32,7 @@ use crate::service::{Layer, Request, Response, ServeError, Service};
 use crate::shard::{merge_states, shard_ranges, ShardRequest, ShardResponse, ShardService};
 use crate::shed::{LoadShedLayer, ShedCounter};
 use crate::snapshot::{SnapshotAllocator, Staleness};
+use crate::striped::StripedLoads;
 
 /// Which authoritative load store backs the service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +44,24 @@ pub enum BackendKind {
     /// doubles as a stress harness for the counter (applies are
     /// `fetch_add`s, refreshes are cell scans).
     Multicounter,
+}
+
+/// How snapshot refreshes read the global load vector (sharded backend,
+/// concurrent mode — replay always reads shards directly, and the
+/// multicounter backend scans its own cells).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotPath {
+    /// Round-trip a [`ShardRequest::ReadLoads`] through every shard's
+    /// request buffer: the PR 5 path. Reads serialize behind queued
+    /// applies and each reply allocates — refresh cost grows as
+    /// `workers × shards` blocking calls.
+    #[default]
+    Buffered,
+    /// Scan the shared [`StripedLoads`] mirror: shard workers publish
+    /// their stripe as they apply (one relaxed store per placement) and
+    /// refreshes are a wait-free read of all `n` cells — no full-state
+    /// lock, no round-trip, no allocation.
+    Striped,
 }
 
 /// Configuration of one serve run.
@@ -67,6 +86,8 @@ pub struct ServeConfig {
     pub inflight: Option<usize>,
     /// The authoritative load store.
     pub backend: BackendKind,
+    /// How concurrent-mode snapshot refreshes read the sharded loads.
+    pub snapshot: SnapshotPath,
     /// Master seed; worker `w`'s RNG stream derives via
     /// [`point_seed`]`(seed, w)`.
     pub seed: u64,
@@ -86,6 +107,7 @@ impl ServeConfig {
             buffer_capacity: 1024,
             inflight: None,
             backend: BackendKind::Sharded,
+            snapshot: SnapshotPath::Buffered,
             seed,
         }
     }
@@ -216,10 +238,13 @@ pub(crate) fn shard_of(bin: usize, n: usize, shards: usize) -> usize {
 
 /// Concurrent sink: cloneable buffer handles to the shard workers, each
 /// paired with the bin range its shard owns (from [`shard_ranges`], so
-/// the partition formula lives in one place).
+/// the partition formula lives in one place). Under
+/// [`SnapshotPath::Striped`] it also holds the shared mirror the shard
+/// workers publish into, and refreshes scan it instead of round-tripping.
 #[derive(Clone)]
 struct ShardFanout {
     shards: Vec<(std::ops::Range<usize>, Buffer<ShardRequest, ShardResponse>)>,
+    striped: Option<Arc<StripedLoads>>,
     n: usize,
 }
 
@@ -233,6 +258,12 @@ impl ApplySink for ShardFanout {
     }
 
     fn refresh(&mut self, snapshot: &mut [u64]) -> Result<(), ServeError> {
+        if let Some(striped) = &self.striped {
+            // Wait-free scan of the published stripes — never blocks
+            // behind queued applies, allocates nothing.
+            striped.read_into(snapshot);
+            return Ok(());
+        }
         for (range, shard) in &mut self.shards {
             match shard.call(ShardRequest::ReadLoads)? {
                 ShardResponse::Loads(loads) => {
@@ -372,6 +403,26 @@ fn worker_loop<K: ApplySink>(
 /// ```
 #[must_use]
 pub fn run_concurrent(cfg: &ServeConfig) -> ServeOutcome {
+    run_concurrent_with(cfg, None)
+}
+
+/// A per-shard worker start hook: called once on each shard worker's own
+/// OS thread, with the shard index, before the worker serves its first
+/// request. The seam for CPU pinning / NUMA placement — the workspace has
+/// no affinity syscalls of its own (no `unsafe`, no libc), so the caller
+/// supplies whatever binding its platform offers.
+pub type ShardWorkerHook = Arc<dyn Fn(usize) + Send + Sync>;
+
+/// [`run_concurrent`] with an optional [`ShardWorkerHook`] (sharded
+/// backend only; the multicounter backend spawns no shard workers, so the
+/// hook is never called there).
+///
+/// # Panics
+///
+/// Panics on an invalid configuration or a non-shed worker failure, like
+/// [`run_concurrent`].
+#[must_use]
+pub fn run_concurrent_with(cfg: &ServeConfig, on_shard_worker: Option<ShardWorkerHook>) -> ServeOutcome {
     cfg.validate();
     let clock = Clock::default();
     // No explicit limit ⇒ one permit per worker, which can never bind
@@ -380,16 +431,32 @@ pub fn run_concurrent(cfg: &ServeConfig) -> ServeOutcome {
     let shed = ShedCounter::new();
     match cfg.backend {
         BackendKind::Sharded => {
+            let striped = match cfg.snapshot {
+                SnapshotPath::Striped => Some(Arc::new(StripedLoads::new(cfg.n))),
+                SnapshotPath::Buffered => None,
+            };
             let mut handles = Vec::new();
             let mut controllers = Vec::new();
-            for range in shard_ranges(cfg.n, cfg.shards) {
+            for (s, range) in shard_ranges(cfg.n, cfg.shards).into_iter().enumerate() {
+                let shard = match &striped {
+                    Some(mirror) => {
+                        ShardService::with_striped(range.clone(), Arc::clone(mirror))
+                    }
+                    None => ShardService::new(range.clone()),
+                };
+                let hook = on_shard_worker.clone();
                 let (handle, controller) =
-                    Buffer::spawn(ShardService::new(range.clone()), cfg.buffer_capacity);
+                    Buffer::spawn_with(shard, cfg.buffer_capacity, move || {
+                        if let Some(hook) = hook {
+                            hook(s);
+                        }
+                    });
                 handles.push((range, handle));
                 controllers.push(controller);
             }
             let fanout = ShardFanout {
                 shards: handles,
+                striped,
                 n: cfg.n,
             };
             let (stats, elapsed) = closed_loop(cfg, &clock, &permits, &shed, &fanout);
@@ -603,6 +670,67 @@ mod tests {
         // The counter sink never sheds: every request lands.
         assert_eq!(outcome.allocated, cfg.requests);
         assert_eq!(outcome.shed, 0);
+    }
+
+    #[test]
+    fn striped_snapshot_path_conserves_every_request() {
+        let mut cfg = ServeConfig::demo(64, 4, 3);
+        cfg.workers = 4;
+        cfg.snapshot = SnapshotPath::Striped;
+        let outcome = run_concurrent(&cfg);
+        // Same conservation contract as the buffered path: the mirror is
+        // read-only advice, the authoritative shard states still absorb
+        // every allocated ball (re-asserted inside `finish`).
+        assert_eq!(outcome.allocated + outcome.shed, outcome.requests);
+        assert!(outcome.refreshes >= cfg.workers as u64, "each worker primes once");
+    }
+
+    #[test]
+    fn shard_worker_hook_fires_once_per_shard_on_the_worker_thread() {
+        use std::sync::Mutex;
+
+        let mut cfg = ServeConfig::demo(64, 4, 13);
+        cfg.snapshot = SnapshotPath::Striped;
+        let seen: Arc<Mutex<Vec<(usize, std::thread::ThreadId)>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let hook: ShardWorkerHook = {
+            let seen = Arc::clone(&seen);
+            Arc::new(move |shard| {
+                seen.lock().unwrap().push((shard, std::thread::current().id()));
+            })
+        };
+        let outcome = run_concurrent_with(&cfg, Some(hook));
+        assert_eq!(outcome.allocated + outcome.shed, cfg.requests);
+
+        let mut seen = seen.lock().unwrap().clone();
+        seen.sort_by_key(|&(shard, _)| shard);
+        let shards: Vec<usize> = seen.iter().map(|&(s, _)| s).collect();
+        assert_eq!(shards, vec![0, 1, 2, 3], "one start hook per shard, each exactly once");
+        // Each hook ran on its own worker's thread — and none on ours.
+        let me = std::thread::current().id();
+        for &(shard, tid) in &seen {
+            assert_ne!(tid, me, "hook for shard {shard} ran on the caller thread");
+        }
+        for a in 0..seen.len() {
+            for b in a + 1..seen.len() {
+                assert_ne!(seen[a].1, seen[b].1, "shards {a} and {b} shared a worker thread");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_ignores_the_snapshot_path() {
+        // Replay reads shards directly (DirectShards) in both cases: the
+        // concurrent-only mirror must not leak into the deterministic
+        // decision stream.
+        let mut buffered = ServeConfig::demo(64, 4, 9);
+        buffered.snapshot = SnapshotPath::Buffered;
+        let mut striped = buffered;
+        striped.snapshot = SnapshotPath::Striped;
+        let a = run_replay(&buffered);
+        let b = run_replay(&striped);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.outcome.gap, b.outcome.gap);
     }
 
     #[test]

@@ -106,11 +106,15 @@ mod service;
 mod shard;
 mod shed;
 mod snapshot;
+mod striped;
 mod timeout;
 
 pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker, CircuitBreakerLayer};
 pub use buffer::{Buffer, BufferController};
-pub use engine::{run_concurrent, run_replay, BackendKind, ReplayOutcome, ServeConfig, ServeOutcome};
+pub use engine::{
+    run_concurrent, run_concurrent_with, run_replay, BackendKind, ReplayOutcome, ServeConfig,
+    ServeOutcome, ShardWorkerHook, SnapshotPath,
+};
 pub use fault::{FaultKind, FaultPlan, FaultStats, FaultyShard, ShardRole};
 pub use hedge::{Hedge, HedgeConfig, HedgeLayer, HedgeStats, LatencyHistogram};
 pub use limit::{InFlightLimit, InFlightLimitLayer, Permits};
@@ -123,4 +127,5 @@ pub use service::{decide, Layer, NoiseMode, Request, Response, ServeError, Servi
 pub use shard::{merge_states, shard_ranges, ShardRequest, ShardResponse, ShardService};
 pub use shed::{LoadShed, LoadShedLayer, ShedCounter};
 pub use snapshot::{SnapshotAllocator, Staleness};
+pub use striped::StripedLoads;
 pub use timeout::{Timeout, TimeoutLayer, TimeoutStats};

@@ -8,10 +8,12 @@
 //! what puts the service in the paper's `b-Batch`/`τ-Delay` regimes.
 
 use std::ops::Range;
+use std::sync::Arc;
 
 use balloc_core::LoadState;
 
 use crate::service::{ServeError, Service};
+use crate::striped::StripedLoads;
 
 /// The contiguous bin ranges of `shards` shards over `n` bins
 /// (workpool-style `s·n/S .. (s+1)·n/S` blocks: sizes differ by at most
@@ -67,6 +69,9 @@ pub struct ShardService {
     /// Global index of the first owned bin.
     lo: usize,
     state: LoadState,
+    /// Optional lock-free mirror this shard publishes its stripe to on
+    /// every apply (the scalable snapshot path).
+    striped: Option<Arc<StripedLoads>>,
 }
 
 impl ShardService {
@@ -80,6 +85,29 @@ impl ShardService {
         Self {
             lo: range.start,
             state: LoadState::new(range.len()),
+            striped: None,
+        }
+    }
+
+    /// Creates the shard owning `range`, publishing every load change to
+    /// its stripe of the shared [`StripedLoads`] mirror — one relaxed
+    /// store per apply, so snapshot refreshes can scan the mirror instead
+    /// of round-tripping [`ShardRequest::ReadLoads`] through the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or overruns the mirror.
+    #[must_use]
+    pub fn with_striped(range: Range<usize>, striped: Arc<StripedLoads>) -> Self {
+        assert!(
+            range.end <= striped.n(),
+            "shard range {range:?} overruns the {}-bin striped mirror",
+            striped.n()
+        );
+        Self {
+            lo: range.start,
+            state: LoadState::new(range.len()),
+            striped: Some(striped),
         }
     }
 
@@ -110,7 +138,11 @@ impl Service<ShardRequest> for ShardService {
     fn call(&mut self, req: ShardRequest) -> Result<ShardResponse, ServeError> {
         match req {
             ShardRequest::Apply { bin } => {
-                self.state.allocate(bin - self.lo);
+                let local = bin - self.lo;
+                self.state.allocate(local);
+                if let Some(striped) = &self.striped {
+                    striped.publish(bin, self.state.load(local));
+                }
                 Ok(ShardResponse::Applied)
             }
             ShardRequest::ReadLoads => Ok(ShardResponse::Loads(self.state.loads().to_vec())),
@@ -175,6 +207,29 @@ mod tests {
         let mut global = vec![0u64; 8];
         shard.publish_into(&mut global);
         assert_eq!(global, [0, 0, 0, 0, 0, 2, 1, 0]);
+    }
+
+    #[test]
+    fn striped_shard_publishes_every_apply() {
+        let striped = Arc::new(StripedLoads::new(8));
+        let mut shard = ShardService::with_striped(4..7, Arc::clone(&striped));
+        shard.call(ShardRequest::Apply { bin: 5 }).unwrap();
+        shard.call(ShardRequest::Apply { bin: 5 }).unwrap();
+        shard.call(ShardRequest::Apply { bin: 6 }).unwrap();
+        let mut mirror = vec![0u64; 8];
+        striped.read_into(&mut mirror);
+        assert_eq!(mirror, [0, 0, 0, 0, 0, 2, 1, 0]);
+        // The mirror agrees with the authoritative state at quiescence.
+        let mut published = vec![0u64; 8];
+        shard.publish_into(&mut published);
+        assert_eq!(mirror, published);
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns")]
+    fn striped_shard_range_must_fit_the_mirror() {
+        let striped = Arc::new(StripedLoads::new(4));
+        let _ = ShardService::with_striped(2..6, striped);
     }
 
     #[test]

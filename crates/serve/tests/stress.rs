@@ -6,7 +6,7 @@
 //! instead of drifting).
 
 use balloc_serve::{
-    run_concurrent, BackendKind, NoiseMode, Request, ServeConfig, Staleness,
+    run_concurrent, BackendKind, NoiseMode, Request, ServeConfig, SnapshotPath, Staleness,
 };
 
 fn stress_config(seed: u64) -> ServeConfig {
@@ -20,8 +20,24 @@ fn stress_config(seed: u64) -> ServeConfig {
         buffer_capacity: 256,
         inflight: None,
         backend: BackendKind::Sharded,
+        snapshot: SnapshotPath::Buffered,
         seed,
     }
+}
+
+#[test]
+fn striped_snapshots_conserve_under_concurrency() {
+    // Same traffic as the buffered stress run, but refreshes scan the
+    // lock-free mirror instead of round-tripping the shard buffers.
+    let mut cfg = stress_config(41);
+    cfg.snapshot = SnapshotPath::Striped;
+    let outcome = run_concurrent(&cfg);
+    assert_eq!(outcome.allocated + outcome.shed, cfg.requests);
+    assert!(
+        outcome.gap < 40.0,
+        "striped-snapshot serving gap blew up: {}",
+        outcome.gap
+    );
 }
 
 #[test]
