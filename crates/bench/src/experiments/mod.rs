@@ -19,6 +19,7 @@ mod fig12_2;
 mod fig4_1;
 mod layer_decay;
 mod multicounter_quality;
+mod net_bench;
 mod phase_transition;
 mod potential_drop;
 mod queueing_stale;
@@ -80,6 +81,7 @@ static REGISTRY: &[&dyn Experiment] = &[
     &queueing_stale::QueueingStale,
     &layer_decay::LayerDecay,
     &serve_bench::ServeBench,
+    &net_bench::NetBench,
     &resilience_duel::ResilienceDuel,
 ];
 

@@ -27,7 +27,7 @@ impl Lint for UnseededRng {
     }
 
     fn check(&self, cx: &FileContext, out: &mut Vec<Diagnostic>) {
-        if !matches!(cx.role, Role::Library | Role::Binary) {
+        if !matches!(cx.role, Role::Library | Role::Binary | Role::Reactor) {
             return;
         }
         for k in 0..cx.sig.len() {
@@ -57,6 +57,7 @@ impl Lint for UnseededRng {
                      every stream (docs/LINTS.md#l004)",
                     match cx.role {
                         Role::Binary => "binary",
+                        Role::Reactor => "reactor",
                         _ => "library",
                     }
                 ),

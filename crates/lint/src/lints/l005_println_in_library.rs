@@ -34,7 +34,7 @@ impl Lint for PrintlnInLibrary {
     }
 
     fn check(&self, cx: &FileContext, out: &mut Vec<Diagnostic>) {
-        if cx.role != Role::Library || cx.path_matches(ALLOWED_FILES) {
+        if !matches!(cx.role, Role::Library | Role::Reactor) || cx.path_matches(ALLOWED_FILES) {
             return;
         }
         for k in 0..cx.sig.len() {

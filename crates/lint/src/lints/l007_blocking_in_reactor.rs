@@ -1,0 +1,118 @@
+//! L007 `blocking-in-reactor` — reactor code must never block the thread.
+//!
+//! PR 9's serving front-end is a single-threaded edge-triggered epoll
+//! reactor: one blocking call anywhere on that thread stalls *every*
+//! connection, and under edge-triggered registration a reader parked in
+//! `read_exact` never sees the readiness edge it is waiting out — the
+//! classic ET deadlock. Reactor-role files (`crates/net/src/**`, or a
+//! `role(reactor)` pragma) therefore must not call the std blocking I/O
+//! conveniences (`read_exact`, `read_to_end`, `read_to_string`,
+//! `write_all`), blocking channel `recv`, blocking `TcpStream::connect`,
+//! or flip a socket back to blocking mode with `set_nonblocking(false)`.
+//! The sanctioned shapes are the drain/flush loops in `FramedConn`, which
+//! retry until `WouldBlock` and yield back to epoll. The few legitimate
+//! blocking sites — dialing connections during load-generator setup, the
+//! final lossless flush after the reactor loop has exited — carry
+//! per-line `allow(L007)` suppressions with justifications.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::lints::{emit, Lint, LintInfo};
+use crate::source::{FileContext, Role};
+
+/// Method calls that loop internally until completion, blocking on
+/// `WouldBlock` instead of returning it.
+const BLOCKING_METHODS: &[&str] = &[
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "write_all",
+    "recv",
+];
+
+/// `Type::connect` pairs that perform a blocking dial.
+const BLOCKING_CONNECT: &[&str] = &["TcpStream", "UnixStream"];
+
+pub struct BlockingInReactor;
+
+static INFO: LintInfo = LintInfo {
+    code: "L007",
+    name: "blocking-in-reactor",
+    severity: Severity::Deny,
+    summary: "reactor code must stay nonblocking: no read_exact/write_all/recv/blocking connect",
+};
+
+impl Lint for BlockingInReactor {
+    fn info(&self) -> &'static LintInfo {
+        &INFO
+    }
+
+    fn check(&self, cx: &FileContext, out: &mut Vec<Diagnostic>) {
+        if cx.role != Role::Reactor {
+            return;
+        }
+        for k in 0..cx.sig.len() {
+            if cx.sig_kind(k) != Some(TokenKind::Ident) {
+                continue;
+            }
+            let Some(text) = cx.sig_text(k) else { continue };
+            let offset = cx.sig_start(k);
+            if cx.in_test_region(offset) {
+                continue;
+            }
+            // `.method(` — a blocking convenience call.
+            if BLOCKING_METHODS.contains(&text)
+                && k > 0
+                && cx.sig_text(k - 1) == Some(".")
+                && cx.sig_text(k + 1) == Some("(")
+            {
+                emit(
+                    &INFO,
+                    cx,
+                    offset,
+                    format!(
+                        "`.{text}(..)` blocks until completion, stalling every connection \
+                         on the reactor thread (and deadlocking under edge-triggered \
+                         epoll); drain/flush until WouldBlock and yield to the event \
+                         loop instead (docs/LINTS.md#l007)"
+                    ),
+                    out,
+                );
+            }
+            // `TcpStream::connect` / `UnixStream::connect` — blocking dial.
+            if BLOCKING_CONNECT.contains(&text)
+                && cx.sig_text(k + 1) == Some("::")
+                && cx.sig_text(k + 2) == Some("connect")
+            {
+                emit(
+                    &INFO,
+                    cx,
+                    offset,
+                    format!(
+                        "`{text}::connect` performs a blocking dial; on the reactor \
+                         thread, connect before entering the event loop (and justify \
+                         with allow(L007)) or use a nonblocking connect \
+                         (docs/LINTS.md#l007)"
+                    ),
+                    out,
+                );
+            }
+            // `set_nonblocking(false)` — flipping a socket back to blocking.
+            if text == "set_nonblocking"
+                && cx.sig_text(k + 1) == Some("(")
+                && cx.sig_text(k + 2) == Some("false")
+            {
+                emit(
+                    &INFO,
+                    cx,
+                    offset,
+                    "`set_nonblocking(false)` puts the socket back into blocking mode; \
+                     every subsequent read/write can stall the reactor thread \
+                     (docs/LINTS.md#l007)"
+                        .to_string(),
+                    out,
+                );
+            }
+        }
+    }
+}

@@ -10,6 +10,7 @@ mod l003_nondet_iteration;
 mod l004_unseeded_rng;
 mod l005_println_in_library;
 mod l006_unversioned_seed_scheme;
+mod l007_blocking_in_reactor;
 
 /// Static description of one lint.
 #[derive(Debug, Clone, Copy)]
@@ -54,6 +55,7 @@ pub fn registry() -> &'static [&'static dyn Lint] {
         &l004_unseeded_rng::UnseededRng,
         &l005_println_in_library::PrintlnInLibrary,
         &l006_unversioned_seed_scheme::UnversionedSeedScheme,
+        &l007_blocking_in_reactor::BlockingInReactor,
     ];
     REGISTRY
 }

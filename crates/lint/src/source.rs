@@ -35,6 +35,9 @@ pub enum Role {
     Bench,
     /// Examples (`examples/**`).
     Example,
+    /// Nonblocking reactor code (`crates/net/src/**`): library code that
+    /// additionally binds the L007 no-blocking-calls contract.
+    Reactor,
 }
 
 impl Role {
@@ -50,6 +53,8 @@ impl Role {
             Role::Example
         } else if has("/src/bin/") || rel_path.ends_with("/src/main.rs") {
             Role::Binary
+        } else if has("/crates/net/src/") {
+            Role::Reactor
         } else {
             Role::Library
         }
@@ -62,6 +67,7 @@ impl Role {
             "test" => Some(Role::Test),
             "bench" => Some(Role::Bench),
             "example" => Some(Role::Example),
+            "reactor" => Some(Role::Reactor),
             _ => None,
         }
     }
@@ -527,6 +533,8 @@ mod tests {
         assert_eq!(Role::from_path("crates/bench/benches/fig12_1.rs"), Role::Bench);
         assert_eq!(Role::from_path("examples/quickstart.rs"), Role::Example);
         assert_eq!(Role::from_path("crates/bench/src/bin/balloc.rs"), Role::Binary);
+        assert_eq!(Role::from_path("crates/net/src/server.rs"), Role::Reactor);
+        assert_eq!(Role::from_path("crates/net/tests/end_to_end.rs"), Role::Test);
     }
 
     #[test]

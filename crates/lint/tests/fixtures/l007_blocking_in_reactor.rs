@@ -1,0 +1,32 @@
+// balloc-lint: role(reactor)
+//! Known-bad fixture for L007 `blocking-in-reactor`.
+//!
+//! One blocking call on the reactor thread stalls every connection; under
+//! edge-triggered epoll a parked `read_exact` never sees the readiness
+//! edge it is waiting out.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+pub fn handle(stream: &mut TcpStream, buf: &mut [u8]) {
+    stream.read_exact(buf).unwrap();
+    stream.write_all(buf).unwrap();
+    let _ = stream.set_nonblocking(false);
+}
+
+pub fn dial() -> TcpStream {
+    TcpStream::connect("127.0.0.1:9").unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_block() {
+        // Out of scope: tests drive the reactor from ordinary blocking
+        // clients on purpose.
+        let mut s = TcpStream::connect("127.0.0.1:9").unwrap();
+        s.write_all(b"ok").unwrap();
+    }
+}

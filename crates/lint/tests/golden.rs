@@ -59,7 +59,7 @@ fn every_fixture_matches_its_golden() {
 fn every_lint_code_fires_on_some_fixture() {
     // The corpus must keep failing: if a refactor silently disables a
     // lint, this is the test that notices.
-    for code in ["L000", "L001", "L002", "L003", "L004", "L005", "L006"] {
+    for code in ["L000", "L001", "L002", "L003", "L004", "L005", "L006", "L007"] {
         let digits = &code[1..];
         let hit = std::fs::read_dir(fixtures_dir())
             .unwrap()
@@ -101,7 +101,9 @@ fn known_bad_fixtures_fail_deny_all() {
     );
     assert_eq!(code, balloc_lint::cli::EXIT_FINDINGS);
     let err = String::from_utf8(err).unwrap();
-    for code in ["[L000]", "[L001]", "[L002]", "[L003]", "[L004]", "[L005]", "[L006]"] {
+    for code in [
+        "[L000]", "[L001]", "[L002]", "[L003]", "[L004]", "[L005]", "[L006]", "[L007]",
+    ] {
         assert!(err.contains(code), "corpus run lost {code}:\n{err}");
     }
 }

@@ -1,0 +1,52 @@
+//! TCP serving front-end: a vendored-epoll reactor, a compact binary
+//! wire protocol, and a closed-loop load generator.
+//!
+//! This crate puts a socket in front of `balloc-serve`: clients speak a
+//! length-prefixed binary protocol ([`wire`]), the server is a
+//! single-threaded edge-triggered epoll reactor ([`NetServer`]) that
+//! dispatches decoded requests into the existing serve-layer stack, and
+//! [`run_loadgen`] is the measurement harness — `connections × pipeline`
+//! requests in flight, latency percentiles from the serve layer's
+//! 64-bucket histogram.
+//!
+//! # The paper's knobs, as protocol knobs
+//!
+//! Request pipelining is not just a throughput trick here — it is the
+//! paper's batch size wearing a network costume. A pipeline-deep window
+//! of requests decided against one snapshot **is** a `b`-Batch; the age
+//! of the server's snapshot when a request lands **is** its `τ`-Delay.
+//! [`ServerMode::Inline`] makes the correspondence exact by batching
+//! consecutive same-template requests into
+//! [`SnapshotService::call_block`](balloc_serve::SnapshotService::call_block)
+//! runs, and [`ServerMode::Replay`] pins the whole distributed exchange
+//! to [`balloc_serve::run_replay`]'s decision stream, digest-for-digest,
+//! across a real socket.
+//!
+//! # Determinism contract
+//!
+//! In replay mode, `connections` clients are the replay engine's virtual
+//! workers: client `w` seeds its decision state with
+//! `point_seed(seed, w)`, the server serves step `t` only when client
+//! `t mod connections`'s next request has arrived, and both ends compute
+//! the FNV-1a digest of the chosen bins in global round-robin order. The
+//! digest is a pure function of `(config, seed)` — socket scheduling,
+//! packet coalescing, and accept order all cancel out.
+//!
+//! # No unsafe here
+//!
+//! The only `unsafe` in the serving path lives in the audited syscall
+//! shim of the vendored `epoll` crate (`vendor/epoll/src/sys.rs`); this
+//! crate forbids it outright.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod conn;
+mod loadgen;
+mod server;
+pub mod wire;
+
+pub use conn::FramedConn;
+pub use loadgen::{run_loadgen, LoadGenConfig, LoadGenReport};
+pub use server::{NetConfig, NetServer, ServerMode, ServerReport, ShutdownHandle};

@@ -1,0 +1,112 @@
+//! Property tests for the wire protocol: encode/decode round-trips under
+//! arbitrary fragmentation, and decoder robustness on arbitrary garbage.
+
+use balloc_net::wire::{encode, Frame, FrameDecoder, MAX_PAYLOAD};
+use balloc_serve::NoiseMode;
+use proptest::prelude::*;
+
+/// Deterministically expands a spec into a frame (all five kinds, full
+/// field ranges, finite sigmas).
+fn frame_from(spec: u64) -> Frame {
+    let kind = spec % 5;
+    let a = spec.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let b = a.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    match kind {
+        0 => Frame::Hello {
+            client_id: (a & 0xffff_ffff) as u32,
+        },
+        1 => {
+            let noise = if a & 1 == 0 {
+                NoiseMode::Snapshot
+            } else {
+                // Finite, sign-varied sigma.
+                NoiseMode::Noisy {
+                    sigma: ((b % 2_000_001) as f64 - 1_000_000.0) / 1_000.0,
+                }
+            };
+            Frame::Alloc {
+                req_id: b,
+                d: (a >> 32) as u16,
+                noise,
+            }
+        }
+        2 => Frame::Shutdown,
+        3 => Frame::RespBin { req_id: a, bin: b },
+        _ => Frame::RespErr {
+            req_id: a,
+            code: balloc_net::wire::ErrorCode::from_u8([1, 3, 8, 100, 103][(b % 5) as usize])
+                .expect("valid code table"),
+        },
+    }
+}
+
+proptest! {
+    #[test]
+    fn frames_round_trip_under_any_fragmentation(
+        specs in proptest::collection::vec(any::<u64>(), 1..40),
+        chunk in 1usize..23,
+    ) {
+        let frames: Vec<Frame> = specs.iter().map(|&s| frame_from(s)).collect();
+        let mut bytes = Vec::new();
+        for frame in &frames {
+            encode(frame, &mut bytes);
+        }
+        let mut decoder = FrameDecoder::new();
+        let mut got = Vec::new();
+        for piece in bytes.chunks(chunk) {
+            decoder.extend(piece);
+            while let Some(frame) = decoder.next_frame().expect("own encodings decode") {
+                got.push(frame);
+            }
+        }
+        prop_assert_eq!(got, frames);
+        prop_assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&bytes);
+        // Pull until quiescent: every outcome (frame, wait, recoverable
+        // error) is fine; an infinite loop is not. Every Some/recoverable
+        // outcome consumes at least the 4-byte prefix, so this terminates
+        // well inside the step bound.
+        let mut steps = 0usize;
+        loop {
+            steps += 1;
+            prop_assert!(steps <= bytes.len() + 2, "decoder failed to make progress");
+            match decoder.next_frame() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    if e.is_fatal() {
+                        break; // stuck by design: the caller closes the connection
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncations_of_valid_streams_wait_rather_than_error(spec in any::<u64>()) {
+        let frame = frame_from(spec);
+        let mut bytes = Vec::new();
+        encode(&frame, &mut bytes);
+        // Every strict prefix either waits (None) or — never — errors:
+        // truncation must be indistinguishable from in-flight data.
+        for cut in 0..bytes.len() {
+            let mut decoder = FrameDecoder::new();
+            decoder.extend(&bytes[..cut]);
+            prop_assert_eq!(decoder.next_frame().expect("prefix of a valid frame"), None);
+        }
+    }
+
+    #[test]
+    fn length_prefix_is_bounded(spec in any::<u64>()) {
+        let mut bytes = Vec::new();
+        encode(&frame_from(spec), &mut bytes);
+        let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        prop_assert!(len <= MAX_PAYLOAD);
+        prop_assert_eq!(bytes.len(), 4 + len);
+    }
+}

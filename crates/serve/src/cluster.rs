@@ -1,0 +1,278 @@
+//! Shard-store lifecycles behind the [`LoadSink`] seam: the concurrent
+//! buffer-backed [`ShardCluster`] and the single-threaded
+//! [`DirectCluster`].
+//!
+//! Both in-process engines and the TCP front-end need the same thing from
+//! the authoritative store: spawn it, hand out apply/refresh handles,
+//! drain it, and get the merged [`LoadState`] back for conservation
+//! accounting. PR 5 buried that lifecycle inside `run_concurrent`; this
+//! module is the extraction, so a reactor thread can own a cluster the
+//! same way the closed-loop engine does.
+
+use std::sync::Arc;
+
+use balloc_core::LoadState;
+
+use crate::buffer::{Buffer, BufferController};
+use crate::engine::ShardWorkerHook;
+use crate::service::{ServeError, Service};
+use crate::shard::{merge_states, shard_ranges, ShardRequest, ShardResponse, ShardService};
+use crate::sink::LoadSink;
+use crate::striped::StripedLoads;
+use crate::SnapshotPath;
+
+/// Shard index owning global bin `bin` under [`shard_ranges`]`(n, shards)`
+/// block partitioning: the unique `s` with `s·n/S ⩽ bin < (s+1)·n/S`.
+#[inline]
+pub(crate) fn shard_of(bin: usize, n: usize, shards: usize) -> usize {
+    ((bin + 1) * shards - 1) / n
+}
+
+/// `S` shard workers, each an owned [`ShardService`] behind a bounded
+/// [`Buffer`], optionally publishing into a shared [`StripedLoads`]
+/// mirror. Handles fan applies out by bin range; [`join`](Self::join)
+/// drains the workers and reassembles the authoritative state.
+#[derive(Debug)]
+pub struct ShardCluster {
+    template: ShardHandle,
+    controllers: Vec<BufferController<ShardService>>,
+}
+
+impl ShardCluster {
+    /// Spawns the shard workers for `n` bins over `shards` shards, each
+    /// with a request buffer of `capacity`. Under
+    /// [`SnapshotPath::Striped`] the workers also publish every applied
+    /// load into the shared mirror, and refreshes scan it wait-free.
+    /// `on_worker` (if given) runs once on each worker's own thread
+    /// before it serves — the CPU-pinning seam.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards ∉ 1..=n` or `capacity == 0`.
+    #[must_use]
+    pub fn spawn(
+        n: usize,
+        shards: usize,
+        capacity: usize,
+        snapshot: SnapshotPath,
+        on_worker: Option<ShardWorkerHook>,
+    ) -> Self {
+        let striped = match snapshot {
+            SnapshotPath::Striped => Some(Arc::new(StripedLoads::new(n))),
+            SnapshotPath::Buffered => None,
+        };
+        let mut handles = Vec::new();
+        let mut controllers = Vec::new();
+        for (s, range) in shard_ranges(n, shards).into_iter().enumerate() {
+            let shard = match &striped {
+                Some(mirror) => ShardService::with_striped(range.clone(), Arc::clone(mirror)),
+                None => ShardService::new(range.clone()),
+            };
+            let hook = on_worker.clone();
+            let (handle, controller) = Buffer::spawn_with(shard, capacity, move || {
+                if let Some(hook) = hook {
+                    hook(s);
+                }
+            });
+            handles.push((range, handle));
+            controllers.push(controller);
+        }
+        Self {
+            template: ShardHandle {
+                shards: handles,
+                striped,
+                n,
+            },
+            controllers,
+        }
+    }
+
+    /// A cloneable apply/refresh handle into the cluster.
+    #[must_use]
+    pub fn handle(&self) -> ShardHandle {
+        self.template.clone()
+    }
+
+    /// Drains and joins every shard worker and merges their states into
+    /// the global authoritative [`LoadState`].
+    ///
+    /// All [`ShardHandle`]s must have been dropped first (the workers
+    /// exit when their last buffer handle closes); joining with live
+    /// handles blocks until they drop.
+    #[must_use]
+    pub fn join(self) -> LoadState {
+        drop(self.template);
+        let shards: Vec<ShardService> = self.controllers.into_iter().map(|c| c.join()).collect();
+        merge_states(&shards)
+    }
+}
+
+/// Cloneable [`LoadSink`] into a [`ShardCluster`]: applies are
+/// fire-and-forget casts into the owning shard's buffer (a full buffer is
+/// back-pressure), refreshes either round-trip every shard or scan the
+/// striped mirror.
+#[derive(Debug, Clone)]
+pub struct ShardHandle {
+    shards: Vec<(std::ops::Range<usize>, Buffer<ShardRequest, ShardResponse>)>,
+    striped: Option<Arc<StripedLoads>>,
+    n: usize,
+}
+
+impl LoadSink for ShardHandle {
+    fn apply(&mut self, bin: usize) -> Result<(), ServeError> {
+        let s = shard_of(bin, self.n, self.shards.len());
+        debug_assert!(self.shards[s].0.contains(&bin), "shard_of out of sync");
+        // Fire-and-forget: the decision is already made, the shard just
+        // has to absorb the increment. A full buffer is back-pressure.
+        self.shards[s].1.cast(ShardRequest::Apply { bin })
+    }
+
+    fn refresh(&mut self, snapshot: &mut [u64]) -> Result<(), ServeError> {
+        if let Some(striped) = &self.striped {
+            // Wait-free scan of the published stripes — never blocks
+            // behind queued applies, allocates nothing.
+            striped.read_into(snapshot);
+            return Ok(());
+        }
+        for (range, shard) in &mut self.shards {
+            match shard.call(ShardRequest::ReadLoads)? {
+                ShardResponse::Loads(loads) => {
+                    snapshot[range.clone()].copy_from_slice(&loads);
+                }
+                ShardResponse::Applied => unreachable!("ReadLoads replies with Loads"),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Single-threaded direct shard access: the replay engines' and the
+/// deterministic reactor's store — applies and refreshes touch the owned
+/// [`ShardService`]s with no buffering, so they can never reject.
+#[derive(Debug)]
+pub struct DirectCluster {
+    shards: Vec<ShardService>,
+    n: usize,
+}
+
+impl DirectCluster {
+    /// Builds the direct store for `n` bins over `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards ∉ 1..=n`.
+    #[must_use]
+    pub fn new(n: usize, shards: usize) -> Self {
+        Self {
+            shards: shard_ranges(n, shards).into_iter().map(ShardService::new).collect(),
+            n,
+        }
+    }
+
+    /// The merged authoritative state (conservation accounting).
+    #[must_use]
+    pub fn state(&self) -> LoadState {
+        merge_states(&self.shards)
+    }
+}
+
+impl LoadSink for DirectCluster {
+    fn apply(&mut self, bin: usize) -> Result<(), ServeError> {
+        let s = shard_of(bin, self.n, self.shards.len());
+        self.shards[s].call(ShardRequest::Apply { bin }).map(|_| ())
+    }
+
+    fn refresh(&mut self, snapshot: &mut [u64]) -> Result<(), ServeError> {
+        for shard in &self.shards {
+            shard.publish_into(snapshot);
+        }
+        Ok(())
+    }
+}
+
+/// `&mut`-borrowed sinks are sinks: lets one owner (the reactor) share a
+/// [`DirectCluster`] across per-connection services one call at a time.
+impl<K: LoadSink + ?Sized> LoadSink for &mut K {
+    fn apply(&mut self, bin: usize) -> Result<(), ServeError> {
+        (**self).apply(bin)
+    }
+
+    fn refresh(&mut self, snapshot: &mut [u64]) -> Result<(), ServeError> {
+        (**self).refresh(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::shard_ranges;
+
+    #[test]
+    fn shard_of_agrees_with_shard_ranges() {
+        for (n, shards) in [(10usize, 3usize), (128, 8), (7, 7), (1000, 13), (64, 1)] {
+            let ranges = shard_ranges(n, shards);
+            for bin in 0..n {
+                let s = shard_of(bin, n, shards);
+                assert!(
+                    ranges[s].contains(&bin),
+                    "bin {bin} mapped to shard {s} ({:?}) for n = {n}, S = {shards}",
+                    ranges[s]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn direct_cluster_counts_exactly() {
+        let mut cluster = DirectCluster::new(10, 3);
+        for bin in [0usize, 3, 3, 9, 5] {
+            cluster.apply(bin).unwrap();
+        }
+        let state = cluster.state();
+        assert_eq!(state.balls(), 5);
+        assert_eq!(state.loads()[3], 2);
+        let mut snap = vec![0; 10];
+        cluster.refresh(&mut snap).unwrap();
+        assert_eq!(snap[3], 2);
+        assert_eq!(snap.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn shard_cluster_round_trips_and_drains() {
+        let cluster = ShardCluster::spawn(16, 4, 64, SnapshotPath::Buffered, None);
+        let mut handle = cluster.handle();
+        for bin in 0..16usize {
+            handle.apply(bin).unwrap();
+        }
+        let mut snap = vec![0; 16];
+        handle.refresh(&mut snap).unwrap();
+        // The refresh round-trips behind the queued applies, so every
+        // apply is visible.
+        assert_eq!(snap, vec![1u64; 16]);
+        drop(handle);
+        let state = cluster.join();
+        assert_eq!(state.balls(), 16);
+    }
+
+    #[test]
+    fn striped_cluster_mirror_tracks_applies() {
+        let cluster = ShardCluster::spawn(8, 2, 64, SnapshotPath::Striped, None);
+        let mut handle = cluster.handle();
+        for _ in 0..5 {
+            handle.apply(6).unwrap();
+        }
+        // The mirror is published by the shard worker as it absorbs the
+        // casts; poll briefly rather than racing it.
+        let mut snap = vec![0; 8];
+        for _ in 0..1_000 {
+            handle.refresh(&mut snap).unwrap();
+            if snap[6] == 5 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(snap[6], 5);
+        drop(handle);
+        assert_eq!(cluster.join().balls(), 5);
+    }
+}

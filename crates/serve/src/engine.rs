@@ -2,7 +2,7 @@
 //! single-threaded replay over the same decision code.
 //!
 //! Both modes run the same stack per worker —
-//! `LoadShed(InFlightLimit(AllocService))` over an apply sink — and the
+//! `LoadShed(InFlightLimit(SnapshotService))` over a [`LoadSink`] — and the
 //! same [`SnapshotAllocator`] decision state with the same per-worker
 //! seeds. They differ only in scheduling:
 //!
@@ -18,7 +18,6 @@
 //!   PR 2's sweep seeding and PR 4's batched-engine guarantees to the
 //!   serving layer).
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -26,13 +25,12 @@ use balloc_core::rng::{point_seed, Fnv1a};
 use balloc_core::LoadState;
 use balloc_multicounter::MultiCounter;
 
-use crate::buffer::Buffer;
+use crate::cluster::{DirectCluster, ShardCluster};
 use crate::limit::{InFlightLimitLayer, Permits};
-use crate::service::{Layer, Request, Response, ServeError, Service};
-use crate::shard::{merge_states, shard_ranges, ShardRequest, ShardResponse, ShardService};
+use crate::service::{Layer, Request, ServeError, Service};
 use crate::shed::{LoadShedLayer, ShedCounter};
+use crate::sink::{LoadSink, ServeClock, SnapshotService};
 use crate::snapshot::{SnapshotAllocator, Staleness};
-use crate::striped::StripedLoads;
 
 /// Which authoritative load store backs the service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,13 +49,13 @@ pub enum BackendKind {
 /// multicounter backend scans its own cells).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SnapshotPath {
-    /// Round-trip a [`ShardRequest::ReadLoads`] through every shard's
+    /// Round-trip a [`ShardRequest::ReadLoads`](crate::ShardRequest::ReadLoads) through every shard's
     /// request buffer: the PR 5 path. Reads serialize behind queued
     /// applies and each reply allocates — refresh cost grows as
     /// `workers × shards` blocking calls.
     #[default]
     Buffered,
-    /// Scan the shared [`StripedLoads`] mirror: shard workers publish
+    /// Scan the shared [`StripedLoads`](crate::StripedLoads) mirror: shard workers publish
     /// their stripe as they apply (one relaxed store per placement) and
     /// refreshes are a wait-free read of all `n` cells — no full-state
     /// lock, no round-trip, no allocation.
@@ -135,10 +133,20 @@ impl ServeConfig {
     /// Requests served by worker `w` (round-robin split of
     /// [`requests`](Self::requests)).
     fn requests_of_worker(&self, w: usize) -> u64 {
-        let per = self.requests / self.workers as u64;
-        let extra = self.requests % self.workers as u64;
-        per + u64::from((w as u64) < extra)
+        worker_share(self.requests, self.workers, w)
     }
+}
+
+/// Requests worker `w` serves under the engines' round-robin split of
+/// `requests` over `workers` — the first `requests mod workers` workers
+/// carry one extra. Public because the TCP load generator must issue
+/// exactly this split per connection for its replay digest to line up
+/// with [`run_replay`]'s.
+#[must_use]
+pub fn worker_share(requests: u64, workers: usize, w: usize) -> u64 {
+    let per = requests / workers as u64;
+    let extra = requests % workers as u64;
+    per + u64::from((w as u64) < extra)
 }
 
 /// What a serve run did, measured on the authoritative end state.
@@ -206,96 +214,6 @@ pub struct ReplayOutcome {
     pub digest: u64,
 }
 
-/// The engine clock: completed requests, shared across workers (the
-/// "slots" unit of [`Staleness::Delay`]).
-#[derive(Debug, Clone, Default)]
-struct Clock(Arc<AtomicU64>);
-
-impl Clock {
-    fn now(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
-    }
-
-    fn tick(&self) {
-        self.0.fetch_add(1, Ordering::Relaxed);
-    }
-}
-
-/// Where decided allocations land and where snapshot refreshes read from.
-trait ApplySink {
-    /// Places one ball into (global) bin `bin`.
-    fn apply(&mut self, bin: usize) -> Result<(), ServeError>;
-    /// Overwrites `snapshot` with a current reading of all `n` loads.
-    fn refresh(&mut self, snapshot: &mut [u64]) -> Result<(), ServeError>;
-}
-
-/// Shard index owning global bin `bin` under [`shard_ranges`]`(n, shards)`
-/// block partitioning: the unique `s` with `s·n/S ⩽ bin < (s+1)·n/S`.
-#[inline]
-pub(crate) fn shard_of(bin: usize, n: usize, shards: usize) -> usize {
-    ((bin + 1) * shards - 1) / n
-}
-
-/// Concurrent sink: cloneable buffer handles to the shard workers, each
-/// paired with the bin range its shard owns (from [`shard_ranges`], so
-/// the partition formula lives in one place). Under
-/// [`SnapshotPath::Striped`] it also holds the shared mirror the shard
-/// workers publish into, and refreshes scan it instead of round-tripping.
-#[derive(Clone)]
-struct ShardFanout {
-    shards: Vec<(std::ops::Range<usize>, Buffer<ShardRequest, ShardResponse>)>,
-    striped: Option<Arc<StripedLoads>>,
-    n: usize,
-}
-
-impl ApplySink for ShardFanout {
-    fn apply(&mut self, bin: usize) -> Result<(), ServeError> {
-        let s = shard_of(bin, self.n, self.shards.len());
-        debug_assert!(self.shards[s].0.contains(&bin), "shard_of out of sync");
-        // Fire-and-forget: the decision is already made, the shard just
-        // has to absorb the increment. A full buffer is back-pressure.
-        self.shards[s].1.cast(ShardRequest::Apply { bin })
-    }
-
-    fn refresh(&mut self, snapshot: &mut [u64]) -> Result<(), ServeError> {
-        if let Some(striped) = &self.striped {
-            // Wait-free scan of the published stripes — never blocks
-            // behind queued applies, allocates nothing.
-            striped.read_into(snapshot);
-            return Ok(());
-        }
-        for (range, shard) in &mut self.shards {
-            match shard.call(ShardRequest::ReadLoads)? {
-                ShardResponse::Loads(loads) => {
-                    snapshot[range.clone()].copy_from_slice(&loads);
-                }
-                ShardResponse::Applied => unreachable!("ReadLoads replies with Loads"),
-            }
-        }
-        Ok(())
-    }
-}
-
-/// Replay sink: direct, single-threaded shard access.
-struct DirectShards {
-    shards: Vec<ShardService>,
-    n: usize,
-}
-
-impl ApplySink for DirectShards {
-    fn apply(&mut self, bin: usize) -> Result<(), ServeError> {
-        let s = shard_of(bin, self.n, self.shards.len());
-        self.shards[s].call(ShardRequest::Apply { bin }).map(|_| ())
-    }
-
-    fn refresh(&mut self, snapshot: &mut [u64]) -> Result<(), ServeError> {
-        for shard in &self.shards {
-            shard.publish_into(snapshot);
-        }
-        Ok(())
-    }
-}
-
 /// Multicounter sink (both modes): applies are `fetch_add`s on the shared
 /// counter, refreshes scan the cells.
 #[derive(Clone)]
@@ -303,7 +221,7 @@ struct CounterSink {
     counter: Arc<MultiCounter>,
 }
 
-impl ApplySink for CounterSink {
+impl LoadSink for CounterSink {
     fn apply(&mut self, bin: usize) -> Result<(), ServeError> {
         self.counter.bump(bin);
         Ok(())
@@ -315,30 +233,6 @@ impl ApplySink for CounterSink {
     }
 }
 
-/// The leaf service of a worker's stack: refresh-if-stale, decide against
-/// the snapshot, apply through the sink.
-struct AllocService<K> {
-    alloc: SnapshotAllocator,
-    sink: K,
-    clock: Clock,
-}
-
-impl<K: ApplySink> Service<Request> for AllocService<K> {
-    type Response = Response;
-
-    fn call(&mut self, req: Request) -> Result<Response, ServeError> {
-        let now = self.clock.now();
-        if self.alloc.needs_refresh(now) {
-            self.sink.refresh(self.alloc.snapshot_mut())?;
-            self.alloc.note_refresh(now);
-        }
-        let bin = self.alloc.decide(&req);
-        self.sink.apply(bin)?;
-        self.clock.tick();
-        Ok(Response { bin })
-    }
-}
-
 /// Per-worker closed-loop counters.
 struct WorkerStats {
     allocated: u64,
@@ -347,20 +241,16 @@ struct WorkerStats {
 }
 
 /// Runs one worker's closed loop over its share of the requests.
-fn worker_loop<K: ApplySink>(
+fn worker_loop<K: LoadSink>(
     cfg: &ServeConfig,
     w: usize,
     sink: K,
-    clock: Clock,
+    clock: ServeClock,
     permits: &Permits,
     shed: &ShedCounter,
 ) -> WorkerStats {
     let alloc = SnapshotAllocator::new(cfg.n, cfg.staleness, point_seed(cfg.seed, w as u64));
-    let leaf = AllocService {
-        alloc,
-        sink,
-        clock,
-    };
+    let leaf = SnapshotService::new(alloc, sink, clock);
     let limited = InFlightLimitLayer::new(permits.clone()).layer(leaf);
     let mut stack = LoadShedLayer::new(shed.clone()).layer(limited);
     let mut stats = WorkerStats {
@@ -375,7 +265,7 @@ fn worker_loop<K: ApplySink>(
             Err(e) => panic!("serve worker {w} hit a non-shed failure: {e}"),
         }
     }
-    stats.refreshes = stack.into_inner().into_inner().alloc.refreshes();
+    stats.refreshes = stack.into_inner().into_inner().refreshes();
     stats
 }
 
@@ -424,46 +314,24 @@ pub type ShardWorkerHook = Arc<dyn Fn(usize) + Send + Sync>;
 #[must_use]
 pub fn run_concurrent_with(cfg: &ServeConfig, on_shard_worker: Option<ShardWorkerHook>) -> ServeOutcome {
     cfg.validate();
-    let clock = Clock::default();
+    let clock = ServeClock::new();
     // No explicit limit ⇒ one permit per worker, which can never bind
     // (each closed-loop worker has at most one request in flight).
     let permits = Permits::new(cfg.inflight.unwrap_or(cfg.workers));
     let shed = ShedCounter::new();
     match cfg.backend {
         BackendKind::Sharded => {
-            let striped = match cfg.snapshot {
-                SnapshotPath::Striped => Some(Arc::new(StripedLoads::new(cfg.n))),
-                SnapshotPath::Buffered => None,
-            };
-            let mut handles = Vec::new();
-            let mut controllers = Vec::new();
-            for (s, range) in shard_ranges(cfg.n, cfg.shards).into_iter().enumerate() {
-                let shard = match &striped {
-                    Some(mirror) => {
-                        ShardService::with_striped(range.clone(), Arc::clone(mirror))
-                    }
-                    None => ShardService::new(range.clone()),
-                };
-                let hook = on_shard_worker.clone();
-                let (handle, controller) =
-                    Buffer::spawn_with(shard, cfg.buffer_capacity, move || {
-                        if let Some(hook) = hook {
-                            hook(s);
-                        }
-                    });
-                handles.push((range, handle));
-                controllers.push(controller);
-            }
-            let fanout = ShardFanout {
-                shards: handles,
-                striped,
-                n: cfg.n,
-            };
-            let (stats, elapsed) = closed_loop(cfg, &clock, &permits, &shed, &fanout);
-            drop(fanout);
-            let shards: Vec<ShardService> =
-                controllers.into_iter().map(|c| c.join()).collect();
-            let state = merge_states(&shards);
+            let cluster = ShardCluster::spawn(
+                cfg.n,
+                cfg.shards,
+                cfg.buffer_capacity,
+                cfg.snapshot,
+                on_shard_worker,
+            );
+            let handle = cluster.handle();
+            let (stats, elapsed) = closed_loop(cfg, &clock, &permits, &shed, &handle);
+            drop(handle);
+            let state = cluster.join();
             finish(cfg, stats, elapsed, &shed, &state)
         }
         BackendKind::Multicounter => {
@@ -480,13 +348,13 @@ pub fn run_concurrent_with(cfg: &ServeConfig, on_shard_worker: Option<ShardWorke
 /// Fans the worker loops out over the work-stealing pool and times them.
 fn closed_loop<K>(
     cfg: &ServeConfig,
-    clock: &Clock,
+    clock: &ServeClock,
     permits: &Permits,
     shed: &ShedCounter,
     sink: &K,
 ) -> (Vec<WorkerStats>, Duration)
 where
-    K: ApplySink + Clone + Sync,
+    K: LoadSink + Clone + Sync,
 {
     // balloc-lint: allow(L002): real-throughput measurement only — the
     // elapsed Duration is reported, never fed into allocation decisions.
@@ -558,15 +426,9 @@ pub fn run_replay(cfg: &ServeConfig) -> ReplayOutcome {
     cfg.validate();
     match cfg.backend {
         BackendKind::Sharded => {
-            let sink = DirectShards {
-                shards: shard_ranges(cfg.n, cfg.shards)
-                    .into_iter()
-                    .map(ShardService::new)
-                    .collect(),
-                n: cfg.n,
-            };
+            let sink = DirectCluster::new(cfg.n, cfg.shards);
             let (outcome_parts, digest, sink) = replay_loop(cfg, sink);
-            let state = merge_states(&sink.shards);
+            let state = sink.state();
             let (stats, elapsed) = outcome_parts;
             let shed = ShedCounter::new();
             ReplayOutcome {
@@ -592,7 +454,7 @@ pub fn run_replay(cfg: &ServeConfig) -> ReplayOutcome {
 
 /// The round-robin single-threaded loop shared by both replay backends.
 #[allow(clippy::type_complexity)]
-fn replay_loop<K: ApplySink>(
+fn replay_loop<K: LoadSink>(
     cfg: &ServeConfig,
     mut sink: K,
 ) -> ((Vec<WorkerStats>, Duration), u64, K) {
@@ -635,21 +497,6 @@ fn replay_loop<K: ApplySink>(
 mod tests {
     use super::*;
     use crate::service::NoiseMode;
-
-    #[test]
-    fn shard_of_agrees_with_shard_ranges() {
-        for (n, shards) in [(10usize, 3usize), (128, 8), (7, 7), (1000, 13), (64, 1)] {
-            let ranges = shard_ranges(n, shards);
-            for bin in 0..n {
-                let s = shard_of(bin, n, shards);
-                assert!(
-                    ranges[s].contains(&bin),
-                    "bin {bin} mapped to shard {s} ({:?}) for n = {n}, S = {shards}",
-                    ranges[s]
-                );
-            }
-        }
-    }
 
     #[test]
     fn concurrent_conserves_every_request() {

@@ -95,6 +95,7 @@
 
 mod breaker;
 mod buffer;
+mod cluster;
 mod engine;
 mod fault;
 mod hedge;
@@ -105,15 +106,17 @@ mod retry;
 mod service;
 mod shard;
 mod shed;
+mod sink;
 mod snapshot;
 mod striped;
 mod timeout;
 
 pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker, CircuitBreakerLayer};
 pub use buffer::{Buffer, BufferController};
+pub use cluster::{DirectCluster, ShardCluster, ShardHandle};
 pub use engine::{
-    run_concurrent, run_concurrent_with, run_replay, BackendKind, ReplayOutcome, ServeConfig,
-    ServeOutcome, ShardWorkerHook, SnapshotPath,
+    run_concurrent, run_concurrent_with, run_replay, worker_share, BackendKind, ReplayOutcome,
+    ServeConfig, ServeOutcome, ShardWorkerHook, SnapshotPath,
 };
 pub use fault::{FaultKind, FaultPlan, FaultStats, FaultyShard, ShardRole};
 pub use hedge::{Hedge, HedgeConfig, HedgeLayer, HedgeStats, LatencyHistogram};
@@ -126,6 +129,7 @@ pub use retry::{retryable, Retry, RetryBudget, RetryConfig, RetryLayer, RetrySta
 pub use service::{decide, Layer, NoiseMode, Request, Response, ServeError, Service};
 pub use shard::{merge_states, shard_ranges, ShardRequest, ShardResponse, ShardService};
 pub use shed::{LoadShed, LoadShedLayer, ShedCounter};
+pub use sink::{LoadSink, ServeClock, SnapshotService};
 pub use snapshot::{SnapshotAllocator, Staleness};
 pub use striped::StripedLoads;
 pub use timeout::{Timeout, TimeoutLayer, TimeoutStats};

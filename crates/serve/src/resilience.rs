@@ -36,7 +36,7 @@ use balloc_noise::LoadCorruptor;
 use balloc_sim::VClock;
 
 use crate::breaker::{BreakerConfig, BreakerStats, CircuitBreaker};
-use crate::engine::shard_of;
+use crate::cluster::shard_of;
 use crate::fault::{FaultPlan, FaultStats, ShardRole};
 use crate::hedge::{Hedge, HedgeConfig, HedgeStats};
 use crate::rate::{RateLimit, RateLimitConfig, RateStats};

@@ -18,7 +18,7 @@
 
 use balloc_core::Rng;
 
-use crate::service::{decide, Request};
+use crate::service::{decide, NoiseMode, Request};
 
 /// When a worker's snapshot is refreshed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +76,9 @@ pub struct SnapshotAllocator {
     /// always refresh: a zeroed snapshot is not a reading of anything).
     primed: bool,
     refreshes: u64,
+    /// Candidate scratch for [`decide_run`](Self::decide_run) — kept on
+    /// the allocator so block dispatch allocates nothing per block.
+    scratch: Vec<u64>,
 }
 
 impl SnapshotAllocator {
@@ -96,6 +99,7 @@ impl SnapshotAllocator {
             snapped_at: 0,
             primed: false,
             refreshes: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -142,6 +146,69 @@ impl SnapshotAllocator {
     pub fn decide(&mut self, req: &Request) -> usize {
         self.since_refresh += 1;
         decide(&self.snapshot, req, &mut self.rng)
+    }
+
+    /// How many more decisions this worker can make before
+    /// [`needs_refresh`](Self::needs_refresh) turns true, assuming the
+    /// clock advances by one per own decision — the single-threaded
+    /// block-dispatch regime of the TCP front-end. `0` means a refresh is
+    /// due right now.
+    #[must_use]
+    pub fn until_refresh(&self, now: u64) -> u64 {
+        if !self.primed {
+            return 0;
+        }
+        match self.staleness {
+            Staleness::Batch { b } => b.saturating_sub(self.since_refresh),
+            Staleness::Delay { tau } => tau.saturating_sub(now.saturating_sub(self.snapped_at)),
+        }
+    }
+
+    /// Decides `run` consecutive requests against the current snapshot in
+    /// one block, appending the chosen bins to `out` — **bit-identical**
+    /// to `run` successive [`decide`](Self::decide) calls (same RNG
+    /// consumption, same tie-breaks), but fed in PR 4 batched-engine
+    /// style: all `d·run` candidate draws fill in one
+    /// [`Rng::fill_below`] pass, then a tight branch-friendly tournament
+    /// scans the snapshot. The caller guarantees no refresh is due inside
+    /// the run (see [`until_refresh`](Self::until_refresh)).
+    ///
+    /// [`NoiseMode::Noisy`] requests interleave Gaussian draws with
+    /// candidate draws, so they fall back to the per-request path —
+    /// stream-compatible by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `req.d == 0`.
+    pub fn decide_run(&mut self, req: &Request, run: usize, out: &mut Vec<usize>) {
+        if matches!(req.noise, NoiseMode::Noisy { .. }) {
+            for _ in 0..run {
+                out.push(self.decide(req));
+            }
+            return;
+        }
+        assert!(req.d > 0, "need at least one candidate bin");
+        let d = req.d;
+        let n = self.snapshot.len() as u64;
+        self.scratch.resize(run * d, 0);
+        self.rng.fill_below(n, &mut self.scratch[..run * d]);
+        for group in self.scratch[..run * d].chunks_exact(d) {
+            let mut best = group[0] as usize;
+            // The f64 view is deliberate: it is exactly the comparison
+            // `decide` makes, so block and per-request paths tie-break
+            // identically.
+            let mut best_load = self.snapshot[best] as f64;
+            for &candidate in &group[1..] {
+                let candidate = candidate as usize;
+                let load = self.snapshot[candidate] as f64;
+                if load < best_load {
+                    best = candidate;
+                    best_load = load;
+                }
+            }
+            out.push(best);
+        }
+        self.since_refresh += run as u64;
     }
 }
 

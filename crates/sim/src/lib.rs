@@ -70,12 +70,14 @@ mod distribution;
 pub mod initial;
 mod report;
 mod runner;
+mod schedule;
 mod sweep;
 mod vclock;
 
 pub use config::{Checkpoints, RunConfig};
 pub use distribution::GapDistribution;
 pub use report::{csv_escape, to_json, Block, OutputMode, OutputSink, Report, TextTable};
+pub use schedule::ArrivalSchedule;
 pub use runner::{
     gaps, repeat, repeat_grid, repeat_grid_traced, repeat_traced, run, run_lanes, run_observed,
     run_on_state, run_traced, GapTrace, NoObserver, RunResult, StepObserver, TracePoint,

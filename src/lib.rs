@@ -94,3 +94,10 @@ pub mod dynamic {
 pub mod serve {
     pub use balloc_serve::*;
 }
+
+/// TCP serving front-end: vendored-epoll reactor, binary wire protocol,
+/// and the closed-loop load generator (request pipelining as `b-Batch`
+/// over a real socket). Re-export of [`balloc_net`].
+pub mod net {
+    pub use balloc_net::*;
+}

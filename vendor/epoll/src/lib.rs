@@ -1,0 +1,381 @@
+//! Vendored minimal epoll: edge-triggered readiness for nonblocking
+//! `std::net` sockets, under the same vendoring discipline as
+//! `vendor/workpool`.
+//!
+//! `std` exposes nonblocking sockets but no readiness API, so a reactor
+//! needs exactly one thing from the OS: "tell me which of these fds became
+//! readable/writable". This crate provides that and nothing else — a safe
+//! [`Epoll`] wrapper over four syscalls ([`sys`] is the single audited
+//! `unsafe` module in the workspace), always edge-triggered, with a
+//! caller-chosen [`Token`] per registration.
+//!
+//! # Edge-triggered contract
+//!
+//! Registrations always set `EPOLLET`: an event announces a *transition*
+//! to readiness, not a level. The caller must drain (`read`/`write` until
+//! `WouldBlock`) after every event or readiness is lost until the next
+//! transition — the `balloc-net` connection state machines are built
+//! around exactly that drain loop.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use epoll::{Epoll, Events, Interest, Token};
+//! use std::net::TcpListener;
+//!
+//! let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+//! listener.set_nonblocking(true).unwrap();
+//! let epoll = Epoll::new().unwrap();
+//! epoll.register(&listener, Token(0), Interest::READABLE).unwrap();
+//! let mut events = Events::with_capacity(64);
+//! epoll.wait(&mut events, Some(100)).unwrap();
+//! for ev in events.iter() {
+//!     if ev.token == Token(0) && ev.readable {
+//!         // accept until WouldBlock …
+//!     }
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod sys;
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+
+/// Caller-chosen cookie identifying a registration; delivered back on
+/// every [`Event`] for the fd.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token(pub u64);
+
+/// Which readiness transitions a registration subscribes to. Peer hangup
+/// (`EPOLLRDHUP`) and error conditions are always delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    readable: bool,
+    writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READABLE: Self = Self {
+        readable: true,
+        writable: false,
+    };
+    /// Writable only.
+    pub const WRITABLE: Self = Self {
+        readable: false,
+        writable: true,
+    };
+    /// Readable and writable — what a pipelined connection registers
+    /// once, then never re-arms (edge-triggered, so there is no
+    /// level-triggered writable storm to avoid).
+    pub const BOTH: Self = Self {
+        readable: true,
+        writable: true,
+    };
+
+    fn bits(self) -> u32 {
+        let mut bits = sys::EPOLLET | sys::EPOLLRDHUP;
+        if self.readable {
+            bits |= sys::EPOLLIN;
+        }
+        if self.writable {
+            bits |= sys::EPOLLOUT;
+        }
+        bits
+    }
+}
+
+/// One delivered readiness transition.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The registration's token.
+    pub token: Token,
+    /// Became readable (or has unread data after an edge).
+    pub readable: bool,
+    /// Became writable.
+    pub writable: bool,
+    /// The peer shut down its write side or the connection hung up.
+    pub hangup: bool,
+    /// An error condition is pending on the fd (surface it by reading).
+    pub error: bool,
+}
+
+/// Reusable out-buffer for [`Epoll::wait`].
+#[derive(Debug)]
+pub struct Events {
+    buf: Vec<sys::EpollEvent>,
+    filled: usize,
+}
+
+impl Events {
+    /// A buffer that can carry up to `capacity` events per wait call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "events buffer needs capacity");
+        Self {
+            buf: vec![
+                sys::EpollEvent {
+                    events: 0,
+                    data: 0
+                };
+                capacity
+            ],
+            filled: 0,
+        }
+    }
+
+    /// Number of events delivered by the last wait.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.filled
+    }
+
+    /// Whether the last wait delivered nothing (timeout).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.filled == 0
+    }
+
+    /// Iterates the delivered events.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.filled].iter().map(|raw| {
+            // `EpollEvent` is packed on x86-64: copy the fields out
+            // before touching them so no unaligned reference forms.
+            let bits = { raw.events };
+            let data = { raw.data };
+            Event {
+                token: Token(data),
+                readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                hangup: bits & (sys::EPOLLHUP | sys::EPOLLRDHUP) != 0,
+                error: bits & sys::EPOLLERR != 0,
+            }
+        })
+    }
+}
+
+/// A safe epoll instance. Dropping it closes the epoll fd (registered
+/// sockets are unaffected — they are owned by their `std::net` values).
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates a new epoll instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error (notably `Unsupported` off Linux).
+    pub fn new() -> io::Result<Self> {
+        Ok(Self {
+            fd: sys::epoll_create()?,
+        })
+    }
+
+    /// Adds `source` to the interest list with edge-triggered `interest`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error (`EEXIST` if already registered).
+    pub fn register(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        sys::epoll_ctl(
+            self.fd,
+            sys::EPOLL_CTL_ADD,
+            source.as_raw_fd(),
+            interest.bits(),
+            token.0,
+        )
+    }
+
+    /// Replaces the registration of `source`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error (`ENOENT` if not registered).
+    pub fn reregister(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        sys::epoll_ctl(
+            self.fd,
+            sys::EPOLL_CTL_MOD,
+            source.as_raw_fd(),
+            interest.bits(),
+            token.0,
+        )
+    }
+
+    /// Removes `source` from the interest list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error. Callers dropping the socket right after
+    /// may ignore failures: the kernel deregisters closed fds itself.
+    pub fn deregister(&self, source: &impl AsRawFd) -> io::Result<()> {
+        sys::epoll_ctl(self.fd, sys::EPOLL_CTL_DEL, source.as_raw_fd(), 0, 0)
+    }
+
+    /// Blocks until at least one event arrives, the timeout elapses
+    /// (`Some(ms)`), or forever (`None`); fills `events` and returns the
+    /// delivered count (0 on timeout).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error. `EINTR` is retried internally so callers
+    /// never observe spurious interruption.
+    pub fn wait(&self, events: &mut Events, timeout_ms: Option<i32>) -> io::Result<usize> {
+        let timeout = timeout_ms.unwrap_or(-1);
+        loop {
+            match sys::epoll_wait(self.fd, &mut events.buf, timeout) {
+                Ok(n) => {
+                    events.filled = n;
+                    return Ok(n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    events.filled = 0;
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        sys::close(self.fd);
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let epoll = Epoll::new().unwrap();
+        epoll
+            .register(&listener, Token(7), Interest::READABLE)
+            .unwrap();
+
+        let mut events = Events::with_capacity(8);
+        assert_eq!(epoll.wait(&mut events, Some(0)).unwrap(), 0, "no pending edge yet");
+
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let n = epoll.wait(&mut events, Some(2_000)).unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.token, Token(7));
+        assert!(ev.readable);
+    }
+
+    #[test]
+    fn connected_stream_reports_writable_edge_once() {
+        let (client, _server) = pair();
+        client.set_nonblocking(true).unwrap();
+        let epoll = Epoll::new().unwrap();
+        epoll.register(&client, Token(1), Interest::BOTH).unwrap();
+
+        let mut events = Events::with_capacity(8);
+        let n = epoll.wait(&mut events, Some(2_000)).unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert!(ev.writable, "a fresh connection has send-buffer space");
+
+        // Edge-triggered: no state change ⇒ no repeat of the same edge.
+        assert_eq!(epoll.wait(&mut events, Some(50)).unwrap(), 0);
+    }
+
+    #[test]
+    fn data_arrival_is_a_readable_edge_and_drains() {
+        let (client, mut server) = pair();
+        client.set_nonblocking(true).unwrap();
+        let epoll = Epoll::new().unwrap();
+        epoll.register(&client, Token(3), Interest::READABLE).unwrap();
+
+        server.write_all(b"ping").unwrap();
+        let mut events = Events::with_capacity(8);
+        let n = epoll.wait(&mut events, Some(2_000)).unwrap();
+        assert_eq!(n, 1);
+        assert!(events.iter().next().unwrap().readable);
+
+        let mut buf = [0u8; 16];
+        let mut client_nb = client;
+        assert_eq!(client_nb.read(&mut buf).unwrap(), 4);
+        let would_block = client_nb.read(&mut buf);
+        assert_eq!(
+            would_block.unwrap_err().kind(),
+            io::ErrorKind::WouldBlock,
+            "after the drain the socket must be dry"
+        );
+    }
+
+    #[test]
+    fn hangup_is_delivered() {
+        let (client, server) = pair();
+        client.set_nonblocking(true).unwrap();
+        let epoll = Epoll::new().unwrap();
+        epoll.register(&client, Token(9), Interest::READABLE).unwrap();
+        drop(server);
+        let mut events = Events::with_capacity(8);
+        let n = epoll.wait(&mut events, Some(2_000)).unwrap();
+        assert_eq!(n, 1);
+        assert!(events.iter().next().unwrap().hangup);
+    }
+
+    #[test]
+    fn deregistered_fd_stops_reporting() {
+        let (client, mut server) = pair();
+        client.set_nonblocking(true).unwrap();
+        let epoll = Epoll::new().unwrap();
+        epoll.register(&client, Token(4), Interest::READABLE).unwrap();
+        epoll.deregister(&client).unwrap();
+        server.write_all(b"x").unwrap();
+        let mut events = Events::with_capacity(8);
+        assert_eq!(epoll.wait(&mut events, Some(100)).unwrap(), 0);
+    }
+
+    #[test]
+    fn reregister_switches_interest() {
+        let (client, mut server) = pair();
+        client.set_nonblocking(true).unwrap();
+        let epoll = Epoll::new().unwrap();
+        // Start writable-only: the arrival of data must not wake us …
+        epoll.register(&client, Token(5), Interest::WRITABLE).unwrap();
+        let mut events = Events::with_capacity(8);
+        let _ = epoll.wait(&mut events, Some(500)); // absorb the writable edge
+        server.write_all(b"y").unwrap();
+        assert_eq!(epoll.wait(&mut events, Some(100)).unwrap(), 0);
+        // … until we re-arm for readable, which replays the pending edge.
+        epoll.reregister(&client, Token(5), Interest::BOTH).unwrap();
+        let n = epoll.wait(&mut events, Some(2_000)).unwrap();
+        assert!(n >= 1);
+        assert!(events.iter().any(|e| e.readable));
+    }
+}

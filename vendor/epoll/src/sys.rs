@@ -1,0 +1,166 @@
+//! The audited syscall shim — the only module in the workspace allowed to
+//! contain `unsafe`.
+//!
+//! Everything here is a thin, direct binding of four libc entry points
+//! (`epoll_create1`, `epoll_ctl`, `epoll_wait`, `close`) plus the kernel's
+//! `epoll_event` ABI struct. Each wrapper converts the C error convention
+//! (`-1` + `errno`) into [`io::Error`] and exposes nothing raw upward: the
+//! safe [`Epoll`](crate::Epoll) type in `lib.rs` is the only consumer.
+//!
+//! Audit notes per call are on the `unsafe` blocks themselves.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// The kernel's `struct epoll_event`. On x86-64 the kernel declares it
+/// `__attribute__((packed))` (the 32-bit layout is kept so 32/64-bit
+/// kernels and userlands agree); other architectures use natural
+/// alignment. Matching that exactly is what makes the `epoll_wait`
+/// out-buffer sound.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Debug, Clone, Copy)]
+pub struct EpollEvent {
+    /// `EPOLL*` readiness bit set.
+    pub events: u32,
+    /// Caller-owned cookie (we store the connection token).
+    pub data: u64,
+}
+
+/// Readable readiness.
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition pending on the fd.
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup (both directions closed).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its write side.
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// Edge-triggered delivery.
+pub const EPOLLET: u32 = 1 << 31;
+
+/// `epoll_ctl` op: add an fd to the interest list.
+pub const EPOLL_CTL_ADD: i32 = 1;
+/// `epoll_ctl` op: remove an fd from the interest list.
+pub const EPOLL_CTL_DEL: i32 = 2;
+/// `epoll_ctl` op: change an fd's registration.
+pub const EPOLL_CTL_MOD: i32 = 3;
+
+/// `EPOLL_CLOEXEC` == `O_CLOEXEC` (octal `02000000` on every Linux arch
+/// this workspace targets).
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+#[cfg(target_os = "linux")]
+mod ffi {
+    use super::EpollEvent;
+    use std::os::fd::RawFd;
+
+    // SAFETY of the declarations: these are the exact prototypes from
+    // <sys/epoll.h> / <unistd.h>; libc is always linked on Linux targets.
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+        pub fn epoll_ctl(epfd: RawFd, op: i32, fd: RawFd, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(
+            epfd: RawFd,
+            events: *mut EpollEvent,
+            maxevents: i32,
+            timeout: i32,
+        ) -> i32;
+        pub fn close(fd: RawFd) -> i32;
+    }
+}
+
+/// Creates a close-on-exec epoll instance, returning its fd.
+#[cfg(target_os = "linux")]
+pub fn epoll_create() -> io::Result<RawFd> {
+    // SAFETY: epoll_create1 reads no memory; the flag is a valid constant.
+    let fd = unsafe { ffi::epoll_create1(EPOLL_CLOEXEC) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(fd)
+}
+
+/// Adds/modifies/removes `fd` on the `epfd` interest list.
+#[cfg(target_os = "linux")]
+pub fn epoll_ctl(epfd: RawFd, op: i32, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+    let mut ev = EpollEvent { events, data };
+    // SAFETY: `ev` is a live, correctly-laid-out epoll_event for the
+    // duration of the call; the kernel copies it before returning (and
+    // ignores the pointer entirely for EPOLL_CTL_DEL).
+    let rc = unsafe { ffi::epoll_ctl(epfd, op, fd, &mut ev) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Waits for readiness, filling `events` from the front; returns how many
+/// entries were written. `timeout_ms < 0` blocks indefinitely.
+#[cfg(target_os = "linux")]
+pub fn epoll_wait(epfd: RawFd, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+    if events.is_empty() {
+        return Ok(0);
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+    let cap = events.len().min(i32::MAX as usize) as i32;
+    // SAFETY: `events` is a valid, writable buffer of `cap` epoll_events;
+    // the kernel writes at most `cap` entries and we trust its return
+    // count only after checking it is non-negative and ≤ cap.
+    let rc = unsafe { ffi::epoll_wait(epfd, events.as_mut_ptr(), cap, timeout_ms) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let n = rc as usize;
+    debug_assert!(n <= events.len());
+    Ok(n.min(events.len()))
+}
+
+/// Closes an fd owned by the caller (used only for the epoll fd itself;
+/// socket fds stay owned by their `std::net` values).
+#[cfg(target_os = "linux")]
+pub fn close(fd: RawFd) {
+    // SAFETY: the caller owns `fd` and never uses it after this call
+    // (enforced by `Epoll`'s Drop taking `self` by value). The return
+    // value is deliberately ignored: there is no meaningful recovery from
+    // a failed close of an epoll fd.
+    let _ = unsafe { ffi::close(fd) };
+}
+
+// Non-Linux hosts: keep the crate compiling (doc builds, IDE checks) with
+// stubs that fail at runtime. The workspace's serving front-end is
+// epoll-only by design; a portable readiness layer would be a different,
+// much larger vendored dependency.
+#[cfg(not(target_os = "linux"))]
+mod stub {
+    use super::EpollEvent;
+    use std::io;
+    use std::os::fd::RawFd;
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "the vendored epoll shim only supports Linux",
+        ))
+    }
+
+    pub fn epoll_create() -> io::Result<RawFd> {
+        unsupported()
+    }
+
+    pub fn epoll_ctl(_: RawFd, _: i32, _: RawFd, _: u32, _: u64) -> io::Result<()> {
+        unsupported()
+    }
+
+    pub fn epoll_wait(_: RawFd, _: &mut [EpollEvent], _: i32) -> io::Result<usize> {
+        unsupported()
+    }
+
+    pub fn close(_: RawFd) {}
+}
+
+#[cfg(not(target_os = "linux"))]
+pub use stub::{close, epoll_create, epoll_ctl, epoll_wait};
