@@ -13,6 +13,7 @@ use balloc_sim::{OutputSink, Report};
 use crate::{BenchError, CommonArgs, FlagSpec};
 
 mod adversary_duel;
+mod churn_bench;
 mod delay_vs_batch;
 mod fig12_1;
 mod fig12_2;
@@ -83,6 +84,7 @@ static REGISTRY: &[&dyn Experiment] = &[
     &serve_bench::ServeBench,
     &net_bench::NetBench,
     &resilience_duel::ResilienceDuel,
+    &churn_bench::ChurnBench,
 ];
 
 /// All registered experiments, in `balloc list` order.

@@ -11,6 +11,7 @@ mod l004_unseeded_rng;
 mod l005_println_in_library;
 mod l006_unversioned_seed_scheme;
 mod l007_blocking_in_reactor;
+mod l008_raw_shard_index;
 
 /// Static description of one lint.
 #[derive(Debug, Clone, Copy)]
@@ -56,6 +57,7 @@ pub fn registry() -> &'static [&'static dyn Lint] {
         &l005_println_in_library::PrintlnInLibrary,
         &l006_unversioned_seed_scheme::UnversionedSeedScheme,
         &l007_blocking_in_reactor::BlockingInReactor,
+        &l008_raw_shard_index::RawShardIndex,
     ];
     REGISTRY
 }

@@ -1,0 +1,34 @@
+// balloc-lint: role(library)
+//! Known-bad fixture for L008 `raw-shard-index`.
+//!
+//! Bin-to-shard arithmetic outside `ShardDirectory` re-freezes the
+//! fixed-S assumption: correct until the first membership change, then a
+//! silent misroute.
+
+pub fn owner(bin: usize, shards: usize) -> usize {
+    bin % shards
+}
+
+pub fn block_width(n: usize, num_shards: usize) -> usize {
+    n / num_shards
+}
+
+pub fn stripe_start(s: usize, bins_per_shard: usize) -> usize {
+    s * bins_per_shard
+}
+
+pub fn legal_bound(shards: usize) -> usize {
+    // `+`/`-` never map a bin to a shard; bounds arithmetic stays legal.
+    shards - 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_do_arithmetic() {
+        // Out of scope: tests assert against hand-computed ownership on
+        // purpose.
+        let shards = 4;
+        assert_eq!(9 % shards, 1);
+    }
+}

@@ -59,7 +59,9 @@ fn every_fixture_matches_its_golden() {
 fn every_lint_code_fires_on_some_fixture() {
     // The corpus must keep failing: if a refactor silently disables a
     // lint, this is the test that notices.
-    for code in ["L000", "L001", "L002", "L003", "L004", "L005", "L006", "L007"] {
+    for code in [
+        "L000", "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008",
+    ] {
         let digits = &code[1..];
         let hit = std::fs::read_dir(fixtures_dir())
             .unwrap()
@@ -103,6 +105,7 @@ fn known_bad_fixtures_fail_deny_all() {
     let err = String::from_utf8(err).unwrap();
     for code in [
         "[L000]", "[L001]", "[L002]", "[L003]", "[L004]", "[L005]", "[L006]", "[L007]",
+        "[L008]",
     ] {
         assert!(err.contains(code), "corpus run lost {code}:\n{err}");
     }

@@ -166,10 +166,22 @@ mod tests {
     #[test]
     fn frames_cross_the_socket() {
         let (mut a, mut b) = pair();
-        a.queue(&Frame::Hello { client_id: 3 });
+        a.queue(&Frame::Hello {
+            client_id: 3,
+            epoch: 7,
+        });
         a.queue(&Frame::Shutdown);
         let got = pump(&mut a, &mut b);
-        assert_eq!(got, vec![Frame::Hello { client_id: 3 }, Frame::Shutdown]);
+        assert_eq!(
+            got,
+            vec![
+                Frame::Hello {
+                    client_id: 3,
+                    epoch: 7,
+                },
+                Frame::Shutdown,
+            ]
+        );
     }
 
     #[test]

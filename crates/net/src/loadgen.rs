@@ -15,10 +15,16 @@
 //! latencies land in the serve layer's 64-bucket [`LatencyHistogram`];
 //! quantile reads round **up** to their bucket bound, so reported
 //! percentiles are conservative.
+//!
+//! Even the dial phase is nonblocking: sockets are born `SOCK_NONBLOCK`
+//! via [`epoll::connect_nonblocking`], every SYN goes out back-to-back,
+//! and the handshakes complete through the same epoll instance that
+//! later drives the closed loop — no thread in this crate ever blocks in
+//! a socket call (lint L007 holds without exemptions here).
 
 use std::collections::VecDeque;
 use std::io;
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
 use balloc_core::rng::Fnv1a;
@@ -133,12 +139,19 @@ pub fn run_loadgen(cfg: &LoadGenConfig) -> io::Result<LoadGenReport> {
         .collect();
     let epoll = Epoll::new()?;
     let mut conns = Vec::with_capacity(cfg.connections);
+    let mut connected = vec![false; cfg.connections];
+    let mut awaiting = 0usize;
     for (w, &quota) in quotas.iter().enumerate() {
-        // balloc-lint: allow(L007): connections are dialed during setup,
-        // before the closed-loop reactor starts; nothing is in flight yet.
-        let stream = TcpStream::connect(cfg.addr)?;
+        // Nonblocking dial: the socket is born `SOCK_NONBLOCK`, the SYN
+        // goes out immediately, and the handshake (if still in flight)
+        // completes below through the reactor's own epoll instance.
+        let (stream, done) = epoll::connect_nonblocking(cfg.addr)?;
         let framed = FramedConn::new(stream)?;
         epoll.register(framed.stream(), Token(w as u64), Interest::BOTH)?;
+        connected[w] = done;
+        if !done {
+            awaiting += 1;
+        }
         let mut conn = GenConn {
             framed,
             quota_left: quota,
@@ -147,9 +160,45 @@ pub fn run_loadgen(cfg: &LoadGenConfig) -> io::Result<LoadGenReport> {
             replies: 0,
             bins: Vec::new(),
         };
+        // Epoch 0 is the discovery handshake: "whatever membership you
+        // are serving". A generator re-dialing across a rebalance would
+        // assert the epoch it learned from earlier `RESP_BIN`s instead.
         #[allow(clippy::cast_possible_truncation)]
-        conn.framed.queue(&Frame::Hello { client_id: w as u32 });
+        conn.framed.queue(&Frame::Hello {
+            client_id: w as u32,
+            epoch: 0,
+        });
         conns.push(conn);
+    }
+
+    // Complete the in-flight handshakes before priming any windows: a
+    // writable edge confirms a connect; `take_error` surfaces refusal.
+    let mut events = Events::with_capacity(64);
+    let mut stalled_polls = 0u32;
+    while awaiting > 0 {
+        let n = epoll.wait(&mut events, Some(100))?;
+        if n == 0 {
+            stalled_polls += 1;
+            if stalled_polls > 100 {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("load generator stalled: {awaiting} connects unfinished after 10 s"),
+                ));
+            }
+            continue;
+        }
+        stalled_polls = 0;
+        for event in events.iter() {
+            let w = event.token.0 as usize;
+            if connected[w] || !(event.writable || event.error || event.hangup) {
+                continue;
+            }
+            if let Some(err) = conns[w].framed.stream().take_error()? {
+                return Err(err);
+            }
+            connected[w] = true;
+            awaiting -= 1;
+        }
     }
 
     // Prime each connection's window, interleaved in seeded arrival
@@ -182,7 +231,6 @@ pub fn run_loadgen(cfg: &LoadGenConfig) -> io::Result<LoadGenReport> {
         let _ = conn.framed.flush()?;
     }
 
-    let mut events = Events::with_capacity(64);
     let mut histogram = LatencyHistogram::new();
     let mut completed = 0u64;
     let mut errors = 0u64;
@@ -275,7 +323,11 @@ fn drain_replies(
         match conn.framed.decoder().next_frame() {
             Ok(Some(frame)) => {
                 match frame {
-                    Frame::RespBin { req_id, bin } => {
+                    Frame::RespBin {
+                        req_id,
+                        bin,
+                        epoch: _,
+                    } => {
                         let sent_at = conn.in_flight.pop_front().expect("reply without request");
                         assert_eq!(req_id, conn.replies + 1, "server must reply in order");
                         // balloc-lint: allow(L002): latency measurement.

@@ -25,8 +25,8 @@ use balloc_core::rng::{point_seed, Fnv1a};
 use balloc_core::LoadState;
 use balloc_serve::{
     DirectCluster, InFlightLimit, InFlightLimitLayer, Layer, LoadShed, LoadShedLayer, LoadSink,
-    Permits, Request, ServeClock, Service, ShardCluster, ShardHandle, ShedCounter,
-    SnapshotAllocator, SnapshotService, Staleness,
+    Permits, Request, ServeClock, Service, ShardCluster, ShardDirectory, ShardHandle,
+    ShedCounter, SnapshotAllocator, SnapshotService, Staleness,
 };
 use epoll::{Epoll, Events, Interest, Token};
 
@@ -299,7 +299,13 @@ impl NetServer {
         let epoll = Epoll::new()?;
         self.listener.set_nonblocking(true)?;
         epoll.register(&self.listener, LISTENER, Interest::READABLE)?;
+        // The serving membership map. The reactor serves one epoch for
+        // its whole run (live rebalance is the churn engine's domain);
+        // clients assert it in HELLO and see it stamped on every
+        // RESP_BIN.
+        let directory = ShardDirectory::uniform(self.cfg.n, self.cfg.shards);
         let reactor = Reactor {
+            epoch: directory.epoch().0,
             cfg: self.cfg,
             epoll,
             listener: self.listener,
@@ -324,6 +330,8 @@ impl NetServer {
 
 struct Reactor {
     cfg: NetConfig,
+    /// The membership epoch served and stamped on every `RESP_BIN`.
+    epoch: u64,
     epoll: Epoll,
     listener: TcpListener,
     shutdown: Arc<AtomicBool>,
@@ -455,15 +463,21 @@ impl Reactor {
         // accumulate here and dispatch as one block.
         let mut template: Option<Request> = None;
         loop {
+            // A handler that condemned the connection (stale epoch, bad
+            // HELLO) ends its input stream here: frames pipelined behind
+            // the refusal are dead, not served.
+            if entry.close_after_flush {
+                break;
+            }
             match entry.conn.decoder().next_frame() {
                 Ok(Some(frame)) => match frame {
                     Frame::Alloc { req_id, .. } => {
                         let req = frame.request().expect("ALLOC has a request");
                         self.dispatch_alloc(entry, idx, req_id, req, &mut template);
                     }
-                    Frame::Hello { client_id } => {
+                    Frame::Hello { client_id, epoch } => {
                         self.flush_run(entry, &mut template);
-                        self.handle_hello(entry, idx, client_id);
+                        self.handle_hello(entry, idx, client_id, epoch);
                     }
                     Frame::Shutdown => {
                         self.flush_run(entry, &mut template);
@@ -526,6 +540,7 @@ impl Reactor {
                     entry.conn.queue(&Frame::RespBin {
                         req_id,
                         bin: resp.bin as u64,
+                        epoch: self.epoch,
                     });
                 }
                 Err(e) => {
@@ -557,6 +572,7 @@ impl Reactor {
         let digest = &mut self.digest;
         let served = &mut self.served;
         let rejected = &mut self.rejected;
+        let epoch = self.epoch;
         let mut i = 0usize;
         let ids = &self.run_ids;
         svc.call_block(&req, ids.len() as u64, &mut |res| {
@@ -569,6 +585,7 @@ impl Reactor {
                     conn.queue(&Frame::RespBin {
                         req_id,
                         bin: resp.bin as u64,
+                        epoch,
                     });
                 }
                 Err(e) => {
@@ -584,7 +601,7 @@ impl Reactor {
     }
 
     /// Identifies a connection, building its decision stack.
-    fn handle_hello(&mut self, entry: &mut ConnEntry, idx: usize, client_id: u32) {
+    fn handle_hello(&mut self, entry: &mut ConnEntry, idx: usize, client_id: u32, epoch: u64) {
         if !matches!(entry.driver, Driver::AwaitingHello) {
             // Re-identifying is a protocol error but not fatal.
             entry.conn.queue(&Frame::RespErr {
@@ -592,6 +609,17 @@ impl Reactor {
                 code: ErrorCode::BadHello,
             });
             self.protocol_errors += 1;
+            return;
+        }
+        if epoch != 0 && epoch != self.epoch {
+            // The client asserted a membership it no longer has: refuse
+            // before any decision state is built so it can re-discover.
+            entry.conn.queue(&Frame::RespErr {
+                req_id: 0,
+                code: ErrorCode::StaleEpoch,
+            });
+            self.protocol_errors += 1;
+            entry.close_after_flush = true;
             return;
         }
         let seed = point_seed(self.cfg.seed, u64::from(client_id));
@@ -664,6 +692,7 @@ impl Reactor {
                     entry.conn.queue(&Frame::RespBin {
                         req_id,
                         bin: bin as u64,
+                        epoch: self.epoch,
                     });
                 }
             }

@@ -8,12 +8,19 @@
 //! so one bad frame costs one error reply, not the connection.
 //!
 //! ```text
-//! request  frames              reply frames
-//! ─────────────────            ─────────────────
-//! HELLO    magic, client_id    RESP_BIN  req_id, bin
-//! ALLOC    req_id, d, noise    RESP_ERR  req_id, code
+//! request  frames                     reply frames
+//! ────────────────────────            ────────────────────────
+//! HELLO    magic, client_id, epoch    RESP_BIN  req_id, bin, epoch
+//! ALLOC    req_id, d, noise           RESP_ERR  req_id, code
 //! SHUTDOWN —
 //! ```
+//!
+//! The `epoch` fields carry the server's membership epoch
+//! (`balloc_serve::MembershipEpoch`): a client that learned the
+//! membership out of band asserts it in `HELLO` (`0` = "don't know,
+//! accept anything") and is refused with [`ErrorCode::StaleEpoch`] if the
+//! server has moved on; every `RESP_BIN` stamps the epoch the decision
+//! was made under, so clients observe membership changes in-band.
 //!
 //! `ALLOC` carries the full request template (`d` and the noise mode), so
 //! the server stays stateless about what clients want; pipelined runs of
@@ -22,7 +29,7 @@
 
 use balloc_serve::{NoiseMode, Request, ServeError};
 
-/// Hard cap on a frame's payload length. Every defined frame fits in 24
+/// Hard cap on a frame's payload length. Every defined frame fits in 32
 /// bytes; anything claiming more is an attack or a desynchronized stream,
 /// and the decoder refuses to allocate for it.
 pub const MAX_PAYLOAD: usize = 64;
@@ -36,10 +43,10 @@ const OP_SHUTDOWN: u8 = 0x03;
 const OP_RESP_BIN: u8 = 0x81;
 const OP_RESP_ERR: u8 = 0x82;
 
-const HELLO_LEN: usize = 1 + 4 + 4;
+const HELLO_LEN: usize = 1 + 4 + 4 + 8;
 const ALLOC_LEN: usize = 1 + 8 + 2 + 1 + 8;
 const SHUTDOWN_LEN: usize = 1;
-const RESP_BIN_LEN: usize = 1 + 8 + 8;
+const RESP_BIN_LEN: usize = 1 + 8 + 8 + 8;
 const RESP_ERR_LEN: usize = 1 + 8 + 1;
 
 const NOISE_SNAPSHOT: u8 = 0;
@@ -54,6 +61,9 @@ pub enum Frame {
     Hello {
         /// The client's worker index.
         client_id: u32,
+        /// The membership epoch the client believes is current, `0` to
+        /// accept whatever the server is on.
+        epoch: u64,
     },
     /// One allocation request.
     Alloc {
@@ -74,6 +84,8 @@ pub enum Frame {
         req_id: u64,
         /// The global bin index chosen.
         bin: u64,
+        /// The membership epoch the decision was made under.
+        epoch: u64,
     },
     /// A rejected request (or a protocol-level error, with `req_id = 0`
     /// when no request could be attributed).
@@ -86,6 +98,17 @@ pub enum Frame {
 }
 
 impl Frame {
+    /// Builds the discovery handshake: `HELLO` with epoch 0, "serve me
+    /// whatever membership you have". Clients that already learned an
+    /// epoch assert it by constructing [`Frame::Hello`] directly.
+    #[must_use]
+    pub fn hello(client_id: u32) -> Self {
+        Self::Hello {
+            client_id,
+            epoch: 0,
+        }
+    }
+
     /// Builds the `ALLOC` frame for a serve-layer request template.
     ///
     /// # Panics
@@ -147,6 +170,9 @@ pub enum ErrorCode {
     BadHello = 102,
     /// The server is draining and no longer accepts new requests.
     ShuttingDown = 103,
+    /// The `HELLO` asserted a non-zero membership epoch that is not the
+    /// server's current one; the client must re-discover and reconnect.
+    StaleEpoch = 104,
 }
 
 impl ErrorCode {
@@ -166,6 +192,7 @@ impl ErrorCode {
             101 => Self::UnknownOpcode,
             102 => Self::BadHello,
             103 => Self::ShuttingDown,
+            104 => Self::StaleEpoch,
             _ => return None,
         })
     }
@@ -259,11 +286,12 @@ pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
         out.extend_from_slice(&(payload_len as u32).to_le_bytes());
     }
     match *frame {
-        Frame::Hello { client_id } => {
+        Frame::Hello { client_id, epoch } => {
             prefix(out, HELLO_LEN);
             out.push(OP_HELLO);
             out.extend_from_slice(&MAGIC.to_le_bytes());
             out.extend_from_slice(&client_id.to_le_bytes());
+            out.extend_from_slice(&epoch.to_le_bytes());
         }
         Frame::Alloc { req_id, d, noise } => {
             prefix(out, ALLOC_LEN);
@@ -281,11 +309,12 @@ pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
             prefix(out, SHUTDOWN_LEN);
             out.push(OP_SHUTDOWN);
         }
-        Frame::RespBin { req_id, bin } => {
+        Frame::RespBin { req_id, bin, epoch } => {
             prefix(out, RESP_BIN_LEN);
             out.push(OP_RESP_BIN);
             out.extend_from_slice(&req_id.to_le_bytes());
             out.extend_from_slice(&bin.to_le_bytes());
+            out.extend_from_slice(&epoch.to_le_bytes());
         }
         Frame::RespErr { req_id, code } => {
             prefix(out, RESP_ERR_LEN);
@@ -377,6 +406,7 @@ fn parse(payload: &[u8]) -> Result<Frame, DecodeError> {
             }
             Ok(Frame::Hello {
                 client_id: read_u32(&payload[5..9]),
+                epoch: read_u64(&payload[9..17]),
             })
         }
         OP_ALLOC => {
@@ -407,6 +437,7 @@ fn parse(payload: &[u8]) -> Result<Frame, DecodeError> {
             Ok(Frame::RespBin {
                 req_id: read_u64(&payload[1..9]),
                 bin: read_u64(&payload[9..17]),
+                epoch: read_u64(&payload[17..25]),
             })
         }
         OP_RESP_ERR => {
@@ -455,7 +486,11 @@ mod tests {
     #[test]
     fn every_frame_round_trips() {
         for frame in [
-            Frame::Hello { client_id: 7 },
+            Frame::Hello { client_id: 7, epoch: 0 },
+            Frame::Hello {
+                client_id: 9,
+                epoch: u64::MAX,
+            },
             Frame::Alloc {
                 req_id: u64::MAX,
                 d: 2,
@@ -467,10 +502,18 @@ mod tests {
                 noise: NoiseMode::Noisy { sigma: 1.25 },
             },
             Frame::Shutdown,
-            Frame::RespBin { req_id: 3, bin: 63 },
+            Frame::RespBin {
+                req_id: 3,
+                bin: 63,
+                epoch: 4,
+            },
             Frame::RespErr {
                 req_id: 9,
                 code: ErrorCode::Shed,
+            },
+            Frame::RespErr {
+                req_id: 0,
+                code: ErrorCode::StaleEpoch,
             },
         ] {
             assert_eq!(round_trip(frame), frame);
@@ -480,14 +523,19 @@ mod tests {
     #[test]
     fn split_delivery_reassembles() {
         let mut bytes = Vec::new();
-        encode(&Frame::RespBin { req_id: 42, bin: 5 }, &mut bytes);
+        let frame = Frame::RespBin {
+            req_id: 42,
+            bin: 5,
+            epoch: 1,
+        };
+        encode(&frame, &mut bytes);
         let mut dec = FrameDecoder::new();
         for &b in &bytes[..bytes.len() - 1] {
             dec.extend(&[b]);
             assert_eq!(dec.next_frame().unwrap(), None, "incomplete frame must wait");
         }
         dec.extend(&bytes[bytes.len() - 1..]);
-        assert_eq!(dec.next_frame().unwrap(), Some(Frame::RespBin { req_id: 42, bin: 5 }));
+        assert_eq!(dec.next_frame().unwrap(), Some(frame));
     }
 
     #[test]
@@ -525,6 +573,7 @@ mod tests {
         bytes.push(OP_HELLO);
         bytes.extend_from_slice(&0xdead_beefu32.to_le_bytes());
         bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
         let mut alloc = Vec::new();
         encode(
             &Frame::Alloc {
@@ -575,6 +624,7 @@ mod tests {
             ErrorCode::UnknownOpcode,
             ErrorCode::BadHello,
             ErrorCode::ShuttingDown,
+            ErrorCode::StaleEpoch,
         ] {
             assert_eq!(ErrorCode::from_u8(code as u8), Some(code));
         }
@@ -595,13 +645,27 @@ mod tests {
         // Push enough frames one byte at a time to force compaction.
         let mut bytes = Vec::new();
         for i in 0..2_000u64 {
-            encode(&Frame::RespBin { req_id: i, bin: i % 64 }, &mut bytes);
+            encode(
+                &Frame::RespBin {
+                    req_id: i,
+                    bin: i % 64,
+                    epoch: 2,
+                },
+                &mut bytes,
+            );
         }
         let mut seen = 0u64;
         for chunk in bytes.chunks(7) {
             dec.extend(chunk);
             while let Some(frame) = dec.next_frame().unwrap() {
-                assert_eq!(frame, Frame::RespBin { req_id: seen, bin: seen % 64 });
+                assert_eq!(
+                    frame,
+                    Frame::RespBin {
+                        req_id: seen,
+                        bin: seen % 64,
+                        epoch: 2,
+                    }
+                );
                 seen += 1;
             }
         }

@@ -213,7 +213,7 @@ fn malformed_frames_get_error_replies_not_panics() {
     // Corpus 1: unknown opcode after a valid HELLO — server must reply
     // UnknownOpcode and keep serving the same connection.
     let mut bytes = Vec::new();
-    encode(&Frame::Hello { client_id: 0 }, &mut bytes);
+    encode(&Frame::hello(0), &mut bytes);
     bytes.extend_from_slice(&3u32.to_le_bytes());
     bytes.extend_from_slice(&[0x55, 0xaa, 0xbb]);
     encode(&Frame::alloc(1, &Request::two_choice()), &mut bytes);
@@ -289,7 +289,7 @@ fn graceful_shutdown_answers_every_accepted_request() {
         .expect("timeout");
     let k = 40u64;
     let mut bytes = Vec::new();
-    encode(&Frame::Hello { client_id: 0 }, &mut bytes);
+    encode(&Frame::hello(0), &mut bytes);
     for req_id in 1..=k {
         encode(&Frame::alloc(req_id, &Request::two_choice()), &mut bytes);
     }
@@ -341,13 +341,68 @@ fn graceful_shutdown_answers_every_accepted_request() {
 fn shutdown_frame_stops_the_server_too() {
     let (addr, _shutdown, join) = spawn_server(inline_cfg(8, 1, 4, 13));
     let mut bytes = Vec::new();
-    encode(&Frame::Hello { client_id: 0 }, &mut bytes);
+    encode(&Frame::hello(0), &mut bytes);
     encode(&Frame::alloc(1, &Request::two_choice()), &mut bytes);
     encode(&Frame::Shutdown, &mut bytes);
     let frames = raw_exchange(addr, &bytes, 1);
     assert!(matches!(frames[0], Frame::RespBin { req_id: 1, .. }));
     let server = join.join().expect("server stops on the wire frame");
     assert_eq!(server.served, 1);
+}
+
+#[test]
+fn stale_epoch_hello_is_refused_and_the_served_epoch_is_stamped() {
+    let (addr, shutdown, join) = spawn_server(inline_cfg(16, 2, 16, 9));
+
+    // A client asserting a membership the server is not serving is
+    // refused before any decision state is built, then disconnected.
+    let mut bytes = Vec::new();
+    encode(
+        &Frame::Hello {
+            client_id: 0,
+            epoch: 999,
+        },
+        &mut bytes,
+    );
+    encode(&Frame::alloc(1, &Request::two_choice()), &mut bytes);
+    let frames = raw_exchange(addr, &bytes, 1);
+    assert_eq!(
+        frames,
+        vec![Frame::RespErr {
+            req_id: 0,
+            code: ErrorCode::StaleEpoch
+        }]
+    );
+
+    // The uniform directory of S shards sits at epoch S (one membership
+    // change per founding insert). Asserting it explicitly is accepted,
+    // and every RESP_BIN carries it back.
+    let mut bytes = Vec::new();
+    encode(
+        &Frame::Hello {
+            client_id: 0,
+            epoch: 2,
+        },
+        &mut bytes,
+    );
+    encode(&Frame::alloc(1, &Request::two_choice()), &mut bytes);
+    let frames = raw_exchange(addr, &bytes, 1);
+    assert!(
+        matches!(
+            frames[0],
+            Frame::RespBin {
+                req_id: 1,
+                epoch: 2,
+                ..
+            }
+        ),
+        "a matching epoch must be served and echoed: {frames:?}"
+    );
+
+    shutdown.shutdown();
+    let server = join.join().expect("server thread");
+    assert_eq!(server.served, 1);
+    assert!(server.protocol_errors >= 1, "the stale HELLO must be counted");
 }
 
 #[test]

@@ -14,6 +14,7 @@ fn frame_from(spec: u64) -> Frame {
     match kind {
         0 => Frame::Hello {
             client_id: (a & 0xffff_ffff) as u32,
+            epoch: b,
         },
         1 => {
             let noise = if a & 1 == 0 {
@@ -31,10 +32,14 @@ fn frame_from(spec: u64) -> Frame {
             }
         }
         2 => Frame::Shutdown,
-        3 => Frame::RespBin { req_id: a, bin: b },
+        3 => Frame::RespBin {
+            req_id: a,
+            bin: b,
+            epoch: a ^ b,
+        },
         _ => Frame::RespErr {
             req_id: a,
-            code: balloc_net::wire::ErrorCode::from_u8([1, 3, 8, 100, 103][(b % 5) as usize])
+            code: balloc_net::wire::ErrorCode::from_u8([1, 3, 8, 100, 103, 104][(b % 6) as usize])
                 .expect("valid code table"),
         },
     }

@@ -14,19 +14,13 @@ use std::sync::Arc;
 use balloc_core::LoadState;
 
 use crate::buffer::{Buffer, BufferController};
+use crate::directory::ShardDirectory;
 use crate::engine::ShardWorkerHook;
 use crate::service::{ServeError, Service};
-use crate::shard::{merge_states, shard_ranges, ShardRequest, ShardResponse, ShardService};
+use crate::shard::{merge_states, ShardRequest, ShardResponse, ShardService};
 use crate::sink::LoadSink;
 use crate::striped::StripedLoads;
 use crate::SnapshotPath;
-
-/// Shard index owning global bin `bin` under [`shard_ranges`]`(n, shards)`
-/// block partitioning: the unique `s` with `s·n/S ⩽ bin < (s+1)·n/S`.
-#[inline]
-pub(crate) fn shard_of(bin: usize, n: usize, shards: usize) -> usize {
-    ((bin + 1) * shards - 1) / n
-}
 
 /// `S` shard workers, each an owned [`ShardService`] behind a bounded
 /// [`Buffer`], optionally publishing into a shared [`StripedLoads`]
@@ -61,9 +55,10 @@ impl ShardCluster {
             SnapshotPath::Striped => Some(Arc::new(StripedLoads::new(n))),
             SnapshotPath::Buffered => None,
         };
+        let directory = ShardDirectory::uniform(n, shards);
         let mut handles = Vec::new();
         let mut controllers = Vec::new();
-        for (s, range) in shard_ranges(n, shards).into_iter().enumerate() {
+        for (s, range) in directory.ranges().into_iter().enumerate() {
             let shard = match &striped {
                 Some(mirror) => ShardService::with_striped(range.clone(), Arc::clone(mirror)),
                 None => ShardService::new(range.clone()),
@@ -81,7 +76,7 @@ impl ShardCluster {
             template: ShardHandle {
                 shards: handles,
                 striped,
-                n,
+                directory,
             },
             controllers,
         }
@@ -115,13 +110,13 @@ impl ShardCluster {
 pub struct ShardHandle {
     shards: Vec<(std::ops::Range<usize>, Buffer<ShardRequest, ShardResponse>)>,
     striped: Option<Arc<StripedLoads>>,
-    n: usize,
+    directory: ShardDirectory,
 }
 
 impl LoadSink for ShardHandle {
     fn apply(&mut self, bin: usize) -> Result<(), ServeError> {
-        let s = shard_of(bin, self.n, self.shards.len());
-        debug_assert!(self.shards[s].0.contains(&bin), "shard_of out of sync");
+        let s = self.directory.slot_of(bin);
+        debug_assert!(self.shards[s].0.contains(&bin), "directory out of sync");
         // Fire-and-forget: the decision is already made, the shard just
         // has to absorb the increment. A full buffer is back-pressure.
         self.shards[s].1.cast(ShardRequest::Apply { bin })
@@ -152,7 +147,7 @@ impl LoadSink for ShardHandle {
 #[derive(Debug)]
 pub struct DirectCluster {
     shards: Vec<ShardService>,
-    n: usize,
+    directory: ShardDirectory,
 }
 
 impl DirectCluster {
@@ -163,9 +158,10 @@ impl DirectCluster {
     /// Panics if `shards ∉ 1..=n`.
     #[must_use]
     pub fn new(n: usize, shards: usize) -> Self {
+        let directory = ShardDirectory::uniform(n, shards);
         Self {
-            shards: shard_ranges(n, shards).into_iter().map(ShardService::new).collect(),
-            n,
+            shards: directory.ranges().into_iter().map(ShardService::new).collect(),
+            directory,
         }
     }
 
@@ -178,7 +174,7 @@ impl DirectCluster {
 
 impl LoadSink for DirectCluster {
     fn apply(&mut self, bin: usize) -> Result<(), ServeError> {
-        let s = shard_of(bin, self.n, self.shards.len());
+        let s = self.directory.slot_of(bin);
         self.shards[s].call(ShardRequest::Apply { bin }).map(|_| ())
     }
 
@@ -208,11 +204,12 @@ mod tests {
     use crate::shard::shard_ranges;
 
     #[test]
-    fn shard_of_agrees_with_shard_ranges() {
+    fn directory_slots_agree_with_shard_ranges() {
         for (n, shards) in [(10usize, 3usize), (128, 8), (7, 7), (1000, 13), (64, 1)] {
+            let directory = ShardDirectory::uniform(n, shards);
             let ranges = shard_ranges(n, shards);
             for bin in 0..n {
-                let s = shard_of(bin, n, shards);
+                let s = directory.slot_of(bin);
                 assert!(
                     ranges[s].contains(&bin),
                     "bin {bin} mapped to shard {s} ({:?}) for n = {n}, S = {shards}",

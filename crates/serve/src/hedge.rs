@@ -177,6 +177,71 @@ impl HedgeStats {
     }
 }
 
+/// Sentinel slot meaning "no shard recorded".
+const NO_SLOT: u64 = u64::MAX;
+
+/// A shard-diversity channel between a [`Hedge`] layer and the leaf
+/// service beneath it: the leaf records which shard slot each attempt
+/// lands on, and while a hedge duplicate is in flight the channel names
+/// that slot as the one to *avoid*, so the duplicate makes a true second
+/// choice in space as well as time. With fewer than two members the leaf
+/// simply ignores the hint (the single-shard fallback).
+#[derive(Debug, Clone, Default)]
+pub struct HedgeSteer {
+    last: Arc<AtomicU64>,
+    avoid: Arc<AtomicU64>,
+    retargeted: Arc<AtomicU64>,
+}
+
+impl HedgeSteer {
+    /// A fresh channel with nothing recorded.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            last: Arc::new(AtomicU64::new(NO_SLOT)),
+            avoid: Arc::new(AtomicU64::new(NO_SLOT)),
+            retargeted: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The leaf reports the shard slot its latest attempt targeted.
+    pub fn note_attempt(&self, slot: usize) {
+        self.last.store(slot as u64, Ordering::Relaxed);
+    }
+
+    /// The slot a hedge duplicate should avoid, if one is in flight.
+    #[must_use]
+    pub fn avoid(&self) -> Option<usize> {
+        match self.avoid.load(Ordering::Relaxed) {
+            NO_SLOT => None,
+            #[allow(clippy::cast_possible_truncation)]
+            slot => Some(slot as usize),
+        }
+    }
+
+    /// The leaf reports it moved a decision off the avoided slot.
+    pub fn note_retarget(&self) {
+        self.retargeted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decisions moved off the avoided slot so far.
+    #[must_use]
+    pub fn retargeted(&self) -> u64 {
+        self.retargeted.load(Ordering::Relaxed)
+    }
+
+    /// Marks a duplicate in flight: avoid whatever the first attempt hit.
+    fn begin_hedge(&self) {
+        self.avoid
+            .store(self.last.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Clears the in-flight marker.
+    fn end_hedge(&self) {
+        self.avoid.store(NO_SLOT, Ordering::Relaxed);
+    }
+}
+
 /// A [`Service`] hedging slow inner calls with one duplicate (see the
 /// module docs).
 #[derive(Debug, Clone)]
@@ -186,6 +251,7 @@ pub struct Hedge<S> {
     cfg: HedgeConfig,
     hist: LatencyHistogram,
     stats: HedgeStats,
+    steer: Option<HedgeSteer>,
 }
 
 impl<S> Hedge<S> {
@@ -203,7 +269,16 @@ impl<S> Hedge<S> {
             cfg,
             hist: LatencyHistogram::new(),
             stats,
+            steer: None,
         }
+    }
+
+    /// Attaches a [`HedgeSteer`] channel shared with the leaf service,
+    /// so duplicates are steered off the first attempt's shard.
+    #[must_use]
+    pub fn with_steer(mut self, steer: HedgeSteer) -> Self {
+        self.steer = Some(steer);
+        self
     }
 
     /// The current hedge delay in ticks: the configured latency quantile
@@ -251,7 +326,13 @@ impl<Req: Clone, S: Service<Req>> Service<Req> for Hedge<S> {
             Err(ServeError::TimedOut) if self.clock.now() >= soft_deadline => {
                 let first_would_finish = self.clock.last_overrun();
                 self.stats.hedged.fetch_add(1, Ordering::Relaxed);
+                if let Some(steer) = &self.steer {
+                    steer.begin_hedge();
+                }
                 let second = self.inner.call(req);
+                if let Some(steer) = &self.steer {
+                    steer.end_hedge();
+                }
                 let end = self.clock.now();
                 if second.is_ok() {
                     self.stats.rescued.fetch_add(1, Ordering::Relaxed);

@@ -93,9 +93,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod autoscale;
 mod breaker;
 mod buffer;
+mod churn;
 mod cluster;
+mod directory;
 mod engine;
 mod fault;
 mod hedge;
@@ -111,15 +114,20 @@ mod snapshot;
 mod striped;
 mod timeout;
 
+pub use autoscale::{AutoscaleConfig, Autoscaler, ScaleAction};
 pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker, CircuitBreakerLayer};
 pub use buffer::{Buffer, BufferController};
+pub use churn::{run_churn, ChurnConfig, ChurnOutcome, ChurnReport, PlannedChange};
 pub use cluster::{DirectCluster, ShardCluster, ShardHandle};
+pub use directory::{
+    BinMove, Change, MembershipEpoch, RebalanceKind, ShardDirectory, ShardId,
+};
 pub use engine::{
     run_concurrent, run_concurrent_with, run_replay, worker_share, BackendKind, ReplayOutcome,
     ServeConfig, ServeOutcome, ShardWorkerHook, SnapshotPath,
 };
 pub use fault::{FaultKind, FaultPlan, FaultStats, FaultyShard, ShardRole};
-pub use hedge::{Hedge, HedgeConfig, HedgeLayer, HedgeStats, LatencyHistogram};
+pub use hedge::{Hedge, HedgeConfig, HedgeLayer, HedgeStats, HedgeSteer, LatencyHistogram};
 pub use limit::{InFlightLimit, InFlightLimitLayer, Permits};
 pub use rate::{RateLimit, RateLimitConfig, RateLimitLayer, RateStats};
 pub use resilience::{

@@ -36,13 +36,13 @@ use balloc_noise::LoadCorruptor;
 use balloc_sim::VClock;
 
 use crate::breaker::{BreakerConfig, BreakerStats, CircuitBreaker};
-use crate::cluster::shard_of;
+use crate::directory::ShardDirectory;
 use crate::fault::{FaultPlan, FaultStats, ShardRole};
-use crate::hedge::{Hedge, HedgeConfig, HedgeStats};
+use crate::hedge::{Hedge, HedgeConfig, HedgeStats, HedgeSteer};
 use crate::rate::{RateLimit, RateLimitConfig, RateStats};
 use crate::retry::{Retry, RetryBudget, RetryConfig, RetryStats};
 use crate::service::{Layer, Request, Response, ServeError, Service};
-use crate::shard::{merge_states, shard_ranges, ShardRequest, ShardService};
+use crate::shard::{merge_states, ShardRequest, ShardService};
 use crate::shed::{LoadShedLayer, ShedCounter};
 use crate::snapshot::{SnapshotAllocator, Staleness};
 
@@ -180,6 +180,9 @@ pub struct ResilienceOutcome {
     pub hedge_rescued: u64,
     /// Hedges that finished later than waiting would have.
     pub hedge_regret: u64,
+    /// Hedge duplicates whose decision was moved off the first attempt's
+    /// shard (always 0 with a single member — the fallback).
+    pub hedge_retargeted: u64,
     /// Circuit-breaker trips (transitions into open).
     pub breaker_trips: u64,
     /// Requests rejected by an open breaker (including mid-retry).
@@ -230,7 +233,7 @@ struct Backend {
     roles: Vec<ShardRole>,
     corruptors: Vec<Option<LoadCorruptor>>,
     base_latency: u64,
-    n: usize,
+    directory: ShardDirectory,
 }
 
 /// The leaf service: refresh-if-stale (through the corruption filter),
@@ -247,6 +250,9 @@ struct FaultyAlloc {
     stats: FaultStats,
     /// Per-leaf refresh counter: the corruption epoch.
     refresh_epoch: u64,
+    /// Hedge→leaf shard-diversity channel: duplicates avoid the first
+    /// attempt's shard when the directory has a second member.
+    steer: HedgeSteer,
 }
 
 impl FaultyAlloc {
@@ -278,8 +284,17 @@ impl Service<Request> for FaultyAlloc {
             self.refresh();
             self.alloc.note_refresh(now);
         }
-        let bin = self.alloc.decide(&req);
-        let s = shard_of(bin, self.backend.n, self.backend.ranges.len());
+        let mut bin = self.alloc.decide(&req);
+        // A hedge duplicate in flight avoids the first attempt's shard —
+        // a true second choice in space — unless it is the only member.
+        if let Some(avoid) = self.steer.avoid() {
+            if self.backend.directory.len() >= 2 && self.backend.directory.slot_of(bin) == avoid {
+                bin = self.backend.directory.retarget(bin, avoid);
+                self.steer.note_retarget();
+            }
+        }
+        let s = self.backend.directory.slot_of(bin);
+        self.steer.note_attempt(s);
         let role = self.backend.roles[s];
 
         let mut latency = self.backend.base_latency;
@@ -332,6 +347,7 @@ struct PolicyStats {
 }
 
 /// Builds worker `w`'s stack per the policy, innermost (leaf) outward.
+#[allow(clippy::too_many_arguments)]
 fn build_stack(
     cfg: &ResilienceConfig,
     w: usize,
@@ -340,6 +356,7 @@ fn build_stack(
     completed: &Completed,
     budget: &RetryBudget,
     stats: &PolicyStats,
+    steer: &HedgeSteer,
 ) -> crate::shed::LoadShed<BoxAlloc> {
     let leaf = FaultyAlloc {
         alloc: SnapshotAllocator::new(cfg.n, cfg.staleness, point_seed(cfg.seed, w as u64)),
@@ -349,6 +366,7 @@ fn build_stack(
         fault_rng: Rng::from_seed(point_seed(point_seed(cfg.seed, FAULT_STREAM), w as u64)),
         stats: stats.fault.clone(),
         refresh_epoch: 0,
+        steer: steer.clone(),
     };
     let mut stack: BoxAlloc = Box::new(leaf);
     if let Some(b) = cfg.policy.breaker {
@@ -368,7 +386,9 @@ fn build_stack(
         ));
     }
     if let Some(h) = cfg.policy.hedge {
-        stack = Box::new(Hedge::new(stack, clock.clone(), h, stats.hedge.clone()));
+        stack = Box::new(
+            Hedge::new(stack, clock.clone(), h, stats.hedge.clone()).with_steer(steer.clone()),
+        );
     }
     if let Some(r) = cfg.policy.rate {
         stack = Box::new(RateLimit::new(
@@ -414,7 +434,8 @@ pub fn run_resilient(cfg: &ResilienceConfig) -> ResilienceReport {
     cfg.validate();
     let clock = VClock::new();
     let completed: Completed = Rc::new(Cell::new(0));
-    let ranges = shard_ranges(cfg.n, cfg.shards);
+    let directory = ShardDirectory::uniform(cfg.n, cfg.shards);
+    let ranges = directory.ranges();
     let shards: SharedShards = Rc::new(RefCell::new(
         ranges.iter().cloned().map(ShardService::new).collect(),
     ));
@@ -431,7 +452,7 @@ pub fn run_resilient(cfg: &ResilienceConfig) -> ResilienceReport {
             .collect(),
         ranges,
         base_latency: cfg.faults.base_latency,
-        n: cfg.n,
+        directory,
     });
     let stats = PolicyStats {
         shed: ShedCounter::new(),
@@ -442,8 +463,9 @@ pub fn run_resilient(cfg: &ResilienceConfig) -> ResilienceReport {
         fault: FaultStats::new(),
     };
     let budget = RetryBudget::new(&cfg.policy.retry.unwrap_or_default());
+    let steers: Vec<HedgeSteer> = (0..cfg.workers).map(|_| HedgeSteer::new()).collect();
     let mut stacks: Vec<_> = (0..cfg.workers)
-        .map(|w| build_stack(cfg, w, &backend, &clock, &completed, &budget, &stats))
+        .map(|w| build_stack(cfg, w, &backend, &clock, &completed, &budget, &stats, &steers[w]))
         .collect();
 
     let mut digest = Fnv1a::new();
@@ -514,6 +536,7 @@ pub fn run_resilient(cfg: &ResilienceConfig) -> ResilienceReport {
         hedged: stats.hedge.hedged(),
         hedge_rescued: stats.hedge.rescued(),
         hedge_regret: stats.hedge.regret(),
+        hedge_retargeted: steers.iter().map(HedgeSteer::retargeted).sum(),
         breaker_trips: stats.breaker.opened(),
         breaker_rejections: stats.breaker.broken(),
         faults_slowed: stats.fault.slowed(),
@@ -648,6 +671,29 @@ mod tests {
             waiting.latency_p99
         );
         assert_eq!(hedged.allocated, cfg.requests, "hedging loses no requests");
+        assert!(
+            hedged.hedge_retargeted > 0,
+            "with 16 members, duplicates that re-land on the slow shard must move"
+        );
+    }
+
+    #[test]
+    fn single_shard_hedges_never_retarget() {
+        // The fallback pin: with one member there is no other shard to
+        // steer a duplicate onto, so hedging degrades gracefully to the
+        // pure second-choice-in-time it was before the directory.
+        let mut cfg = ResilienceConfig::demo(64, 1, 23);
+        cfg.requests = 512;
+        cfg.faults = FaultPlan::clean(2).with(0, FaultKind::Slow { extra: 24 });
+        cfg.policy.hedge = Some(HedgeConfig {
+            quantile: 0.9,
+            cold_delay: 4,
+            min_samples: 16,
+        });
+        let a = run_resilient(&cfg);
+        assert!(a.outcome.hedged > 0, "the slow shard must trigger hedges");
+        assert_eq!(a.outcome.hedge_retargeted, 0, "nowhere else to go");
+        assert_eq!(a, run_resilient(&cfg), "fallback stays deterministic");
     }
 
     #[test]

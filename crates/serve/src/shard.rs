@@ -12,12 +12,19 @@ use std::sync::Arc;
 
 use balloc_core::LoadState;
 
+use crate::directory::ShardDirectory;
 use crate::service::{ServeError, Service};
 use crate::striped::StripedLoads;
 
 /// The contiguous bin ranges of `shards` shards over `n` bins
 /// (workpool-style `s·n/S .. (s+1)·n/S` blocks: sizes differ by at most
 /// one and every bin is covered exactly once).
+///
+/// Since the elastic-membership refactor this is a thin view over
+/// [`ShardDirectory::uniform`] — the directory owns all bin↔shard
+/// arithmetic (lint L008 enforces that), and this helper remains for
+/// call sites that want the static block partition without carrying a
+/// directory around.
 ///
 /// # Panics
 ///
@@ -32,11 +39,7 @@ use crate::striped::StripedLoads;
 /// ```
 #[must_use]
 pub fn shard_ranges(n: usize, shards: usize) -> Vec<Range<usize>> {
-    assert!(shards > 0, "need at least one shard");
-    assert!(shards <= n, "cannot split {n} bins across {shards} shards");
-    (0..shards)
-        .map(|s| s * n / shards..(s + 1) * n / shards)
-        .collect()
+    ShardDirectory::uniform(n, shards).ranges()
 }
 
 /// A request to one shard.
@@ -186,7 +189,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot split")]
+    #[should_panic(expected = "shards must lie in 1..=n")]
     fn more_shards_than_bins_rejected() {
         let _ = shard_ranges(3, 4);
     }

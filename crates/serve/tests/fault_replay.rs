@@ -58,7 +58,10 @@ fn corrupted_cfg() -> ResilienceConfig {
 /// `(name, config, golden digest)` for every fault kind.
 fn goldens() -> Vec<(&'static str, ResilienceConfig, u64)> {
     vec![
-        ("slow", slow_cfg(), 0x96c8_bf27_4d0d_9a76),
+        // Re-pinned when hedge duplicates learned to retarget off the
+        // first attempt's shard (the PR 10 directory steer): the hedged
+        // arm's chosen bins — and only that arm's — moved.
+        ("slow", slow_cfg(), 0x280c_b0b9_bd32_9d98),
         ("stalled", stalled_cfg(), 0xdee7_090b_2521_9cb0),
         ("erroring", erroring_cfg(), 0xdc06_47a1_b9ed_4416),
         ("corrupted", corrupted_cfg(), 0x9b30_bdac_16a3_23b0),

@@ -42,7 +42,27 @@
 pub mod sys;
 
 use std::io;
+use std::net::{SocketAddr, TcpStream};
 use std::os::fd::{AsRawFd, RawFd};
+
+/// Begins a TCP connect to `addr` that never blocks the calling thread.
+///
+/// The socket is created nonblocking from birth (`SOCK_NONBLOCK`), so the
+/// call returns immediately with the stream and a flag: `true` means the
+/// handshake already completed (typical on loopback), `false` means it is
+/// still in flight. For an in-flight connect, register the stream with an
+/// [`Epoll`] and wait for a *writable* edge — then confirm the handshake
+/// with `TcpStream::take_error` before first use (a refused or timed-out
+/// connect surfaces there, not as an `Err` from this function).
+///
+/// # Errors
+///
+/// Propagates immediate OS failures (no route, fd exhaustion, and
+/// `Unsupported` off Linux). Asynchronous failures arrive via
+/// `take_error` after the writable edge.
+pub fn connect_nonblocking(addr: SocketAddr) -> io::Result<(TcpStream, bool)> {
+    sys::connect_nonblocking(&addr)
+}
 
 /// Caller-chosen cookie identifying a registration; delivered back on
 /// every [`Event`] for the fd.
@@ -333,6 +353,35 @@ mod tests {
             would_block.unwrap_err().kind(),
             io::ErrorKind::WouldBlock,
             "after the drain the socket must be dry"
+        );
+    }
+
+    #[test]
+    fn nonblocking_connect_completes_via_writable_edge() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let (client, done) = connect_nonblocking(listener.local_addr().unwrap()).unwrap();
+        if !done {
+            let epoll = Epoll::new().unwrap();
+            epoll
+                .register(&client, Token(11), Interest::WRITABLE)
+                .unwrap();
+            let mut events = Events::with_capacity(4);
+            let n = epoll.wait(&mut events, Some(2_000)).unwrap();
+            assert!(n >= 1, "the connect must report a writable edge");
+            assert!(events.iter().any(|e| e.writable || e.error));
+        }
+        assert!(
+            client.take_error().unwrap().is_none(),
+            "the loopback handshake must succeed"
+        );
+        let (_server, _) = listener.accept().unwrap();
+        // The stream is genuinely nonblocking from birth: a read with no
+        // data must not hang.
+        let mut buf = [0u8; 4];
+        let mut client = client;
+        assert_eq!(
+            client.read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::WouldBlock
         );
     }
 

@@ -1,17 +1,20 @@
 //! The audited syscall shim — the only module in the workspace allowed to
 //! contain `unsafe`.
 //!
-//! Everything here is a thin, direct binding of four libc entry points
-//! (`epoll_create1`, `epoll_ctl`, `epoll_wait`, `close`) plus the kernel's
-//! `epoll_event` ABI struct. Each wrapper converts the C error convention
-//! (`-1` + `errno`) into [`io::Error`] and exposes nothing raw upward: the
-//! safe [`Epoll`](crate::Epoll) type in `lib.rs` is the only consumer.
+//! Everything here is a thin, direct binding of a handful of libc entry
+//! points (`epoll_create1`, `epoll_ctl`, `epoll_wait`, `close`, plus the
+//! `socket`/`connect` pair behind [`connect_nonblocking`]) and the
+//! kernel's `epoll_event` ABI struct. Each wrapper converts the C error
+//! convention (`-1` + `errno`) into [`io::Error`] and exposes nothing raw
+//! upward: the safe [`Epoll`](crate::Epoll) type in `lib.rs` is the only
+//! consumer.
 //!
 //! Audit notes per call are on the `unsafe` blocks themselves.
 
 #![allow(unsafe_code)]
 
 use std::io;
+use std::net::SocketAddr;
 use std::os::fd::RawFd;
 
 /// The kernel's `struct epoll_event`. On x86-64 the kernel declares it
@@ -53,13 +56,59 @@ pub const EPOLL_CTL_MOD: i32 = 3;
 /// this workspace targets).
 const EPOLL_CLOEXEC: i32 = 0o2000000;
 
+/// `AF_INET`: IPv4 socket domain.
+#[cfg(target_os = "linux")]
+const AF_INET: i32 = 2;
+/// `AF_INET6`: IPv6 socket domain.
+#[cfg(target_os = "linux")]
+const AF_INET6: i32 = 10;
+/// `SOCK_STREAM`: TCP socket type.
+#[cfg(target_os = "linux")]
+const SOCK_STREAM: i32 = 1;
+/// `SOCK_NONBLOCK`: create the socket already in nonblocking mode
+/// (octal `04000` == `O_NONBLOCK` on the arches this workspace targets).
+#[cfg(target_os = "linux")]
+const SOCK_NONBLOCK: i32 = 0o4000;
+/// `SOCK_CLOEXEC`: close-on-exec, same bit as `O_CLOEXEC`.
+#[cfg(target_os = "linux")]
+const SOCK_CLOEXEC: i32 = 0o2000000;
+/// `errno` value for a nonblocking connect that is still in flight.
+#[cfg(target_os = "linux")]
+const EINPROGRESS: i32 = 115;
+
+/// The kernel's `struct sockaddr_in` (IPv4). Port and address are stored
+/// in network byte order.
+#[cfg(target_os = "linux")]
+#[repr(C)]
+struct SockAddrIn {
+    family: u16,
+    port_be: u16,
+    addr_be: [u8; 4],
+    zero: [u8; 8],
+}
+
+/// The kernel's `struct sockaddr_in6` (IPv6). Port, flowinfo and address
+/// are stored in network byte order.
+#[cfg(target_os = "linux")]
+#[repr(C)]
+struct SockAddrIn6 {
+    family: u16,
+    port_be: u16,
+    flowinfo_be: u32,
+    addr_be: [u8; 16],
+    scope_id: u32,
+}
+
 #[cfg(target_os = "linux")]
 mod ffi {
     use super::EpollEvent;
     use std::os::fd::RawFd;
 
     // SAFETY of the declarations: these are the exact prototypes from
-    // <sys/epoll.h> / <unistd.h>; libc is always linked on Linux targets.
+    // <sys/epoll.h> / <sys/socket.h> / <unistd.h>; libc is always linked
+    // on Linux targets. `connect` takes the generic `struct sockaddr *`,
+    // declared here as a byte pointer + length pair — the kernel only
+    // reads `addrlen` bytes and dispatches on the leading family field.
     extern "C" {
         pub fn epoll_create1(flags: i32) -> i32;
         pub fn epoll_ctl(epfd: RawFd, op: i32, fd: RawFd, event: *mut EpollEvent) -> i32;
@@ -70,6 +119,8 @@ mod ffi {
             timeout: i32,
         ) -> i32;
         pub fn close(fd: RawFd) -> i32;
+        pub fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        pub fn connect(fd: RawFd, addr: *const u8, addrlen: u32) -> i32;
     }
 }
 
@@ -130,6 +181,87 @@ pub fn close(fd: RawFd) {
     let _ = unsafe { ffi::close(fd) };
 }
 
+/// Begins a TCP connect to `addr` without ever blocking: the socket is
+/// created with `SOCK_NONBLOCK`, so `connect` either completes
+/// immediately (loopback fast path) or returns `EINPROGRESS` and the
+/// handshake finishes in the background.
+///
+/// Returns the stream plus `true` if the handshake already completed,
+/// `false` if it is still in flight — in which case the caller registers
+/// the fd with epoll, waits for writability, and checks
+/// `TcpStream::take_error` before first use (the standard nonblocking
+/// connect protocol).
+#[cfg(target_os = "linux")]
+pub fn connect_nonblocking(addr: &SocketAddr) -> io::Result<(std::net::TcpStream, bool)> {
+    use std::os::fd::{AsRawFd, FromRawFd};
+
+    let domain = match addr {
+        SocketAddr::V4(_) => AF_INET,
+        SocketAddr::V6(_) => AF_INET6,
+    };
+    // SAFETY: socket() reads no caller memory; the flags are valid
+    // constants for every Linux arch this workspace targets.
+    let fd = unsafe { ffi::socket(domain, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: `fd` is a freshly created, valid socket fd that nothing
+    // else owns; wrapping it immediately makes the TcpStream's Drop
+    // responsible for closing it on every path below (no fd leak on
+    // error returns).
+    let stream = unsafe { std::net::TcpStream::from_raw_fd(fd) };
+
+    let rc = match addr {
+        SocketAddr::V4(v4) => {
+            let sa = SockAddrIn {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                family: AF_INET as u16,
+                port_be: v4.port().to_be(),
+                addr_be: v4.ip().octets(),
+                zero: [0; 8],
+            };
+            // SAFETY: `sa` is a live, correctly-laid-out sockaddr_in for
+            // the duration of the call; the kernel reads exactly
+            // `size_of::<SockAddrIn>()` bytes and does not retain the
+            // pointer.
+            unsafe {
+                ffi::connect(
+                    stream.as_raw_fd(),
+                    std::ptr::addr_of!(sa).cast::<u8>(),
+                    std::mem::size_of::<SockAddrIn>() as u32,
+                )
+            }
+        }
+        SocketAddr::V6(v6) => {
+            let sa = SockAddrIn6 {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                family: AF_INET6 as u16,
+                port_be: v6.port().to_be(),
+                flowinfo_be: v6.flowinfo().to_be(),
+                addr_be: v6.ip().octets(),
+                scope_id: v6.scope_id(),
+            };
+            // SAFETY: as for the IPv4 arm — a live sockaddr_in6 of the
+            // exact advertised length, read-only, not retained.
+            unsafe {
+                ffi::connect(
+                    stream.as_raw_fd(),
+                    std::ptr::addr_of!(sa).cast::<u8>(),
+                    std::mem::size_of::<SockAddrIn6>() as u32,
+                )
+            }
+        }
+    };
+    if rc == 0 {
+        return Ok((stream, true));
+    }
+    let err = io::Error::last_os_error();
+    if err.raw_os_error() == Some(EINPROGRESS) {
+        return Ok((stream, false));
+    }
+    Err(err)
+}
+
 // Non-Linux hosts: keep the crate compiling (doc builds, IDE checks) with
 // stubs that fail at runtime. The workspace's serving front-end is
 // epoll-only by design; a portable readiness layer would be a different,
@@ -138,6 +270,7 @@ pub fn close(fd: RawFd) {
 mod stub {
     use super::EpollEvent;
     use std::io;
+    use std::net::SocketAddr;
     use std::os::fd::RawFd;
 
     fn unsupported<T>() -> io::Result<T> {
@@ -160,7 +293,11 @@ mod stub {
     }
 
     pub fn close(_: RawFd) {}
+
+    pub fn connect_nonblocking(_: &SocketAddr) -> io::Result<(std::net::TcpStream, bool)> {
+        unsupported()
+    }
 }
 
 #[cfg(not(target_os = "linux"))]
-pub use stub::{close, epoll_create, epoll_ctl, epoll_wait};
+pub use stub::{close, connect_nonblocking, epoll_create, epoll_ctl, epoll_wait};
